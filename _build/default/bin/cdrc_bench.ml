@@ -1,0 +1,141 @@
+(* Command-line driver: run any single experiment from the paper's
+   evaluation with full parameter control.
+
+     cdrc-bench fig11 --threads 1,2,4 --duration 0.5
+     cdrc-bench fig13c --schemes EBR,RCEBR --scale 10
+     cdrc-bench fig12 --threads 4
+     cdrc-bench abl-sticky
+     cdrc-bench custom --structure tree --update 20 --rq 5 ...
+
+   `bench/main.exe` runs the whole suite; this tool is for focused
+   measurements. *)
+
+open Cmdliner
+
+let threads_arg =
+  let doc = "Comma-separated thread counts to sweep." in
+  Arg.(value & opt (list int) [ 1; 2; 4 ] & info [ "t"; "threads" ] ~docv:"N,N,..." ~doc)
+
+let duration_arg =
+  let doc = "Measured seconds per data point." in
+  Arg.(value & opt float 0.5 & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc)
+
+let schemes_arg =
+  let doc =
+    "Comma-separated scheme names (EBR, IBR, Hyaline, HP, HE, RCEBR, RCIBR, RCHyaline, \
+     RCHP, RCHE; queues also accept Original, locked-weak, RC*-weak). Default: all."
+  in
+  Arg.(value & opt (list string) [] & info [ "s"; "schemes" ] ~docv:"NAME,..." ~doc)
+
+let scale_arg =
+  let doc = "Divide structure sizes by this factor (smoke runs)." in
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"K" ~doc)
+
+let run_set_exp_cmd (e : Workload.Experiments.set_exp) =
+  let doc = e.title in
+  let run threads duration schemes scale =
+    ignore (Workload.Experiments.run_set_exp ~threads ~duration ~schemes ~scale e)
+  in
+  Cmd.v
+    (Cmd.info e.id ~doc)
+    Term.(const run $ threads_arg $ duration_arg $ schemes_arg $ scale_arg)
+
+let fig12_cmd =
+  let run threads duration schemes =
+    ignore (Workload.Experiments.run_fig12 ~threads ~duration ~schemes ())
+  in
+  Cmd.v
+    (Cmd.info "fig12" ~doc:"Fig 12: weak-pointer doubly-linked queue")
+    Term.(const run $ threads_arg $ duration_arg $ schemes_arg)
+
+let abl_sticky_cmd =
+  let run threads duration = Workload.Experiments.run_abl_sticky ~threads ~duration () in
+  Cmd.v
+    (Cmd.info "abl-sticky" ~doc:"Ablation: wait-free sticky counter vs CAS loop")
+    Term.(const run $ threads_arg $ duration_arg)
+
+let abl_epochfreq_cmd =
+  let run threads duration =
+    let threads = match threads with t :: _ -> t | [] -> 4 in
+    Workload.Experiments.run_abl_epochfreq ~threads ~duration ()
+  in
+  Cmd.v
+    (Cmd.info "abl-epochfreq" ~doc:"Ablation: epoch advance frequency sweep")
+    Term.(const run $ threads_arg $ duration_arg)
+
+let abl_hpslots_cmd =
+  let run threads duration =
+    let threads = match threads with t :: _ -> t | [] -> 2 in
+    Workload.Experiments.run_abl_hpslots ~threads ~duration ()
+  in
+  Cmd.v
+    (Cmd.info "abl-hpslots" ~doc:"Ablation: RCHP announcement-slot budget")
+    Term.(const run $ threads_arg $ duration_arg)
+
+let ext_stack_cmd =
+  let run threads duration = Workload.Experiments.run_ext_stack ~threads ~duration () in
+  Cmd.v
+    (Cmd.info "ext-stack" ~doc:"Extension: Treiber stack across every scheme")
+    Term.(const run $ threads_arg $ duration_arg)
+
+let custom_cmd =
+  let structure_arg =
+    let structure_conv =
+      Arg.enum
+        [
+          ("list", Workload.Instances.List_s);
+          ("hash", Workload.Instances.Hash_s);
+          ("tree", Workload.Instances.Tree_s);
+        ]
+    in
+    Arg.(value & opt structure_conv Workload.Instances.Tree_s & info [ "structure" ] ~doc:"list|hash|tree")
+  in
+  let update_arg = Arg.(value & opt int 10 & info [ "update" ] ~doc:"Update percentage.") in
+  let rq_arg = Arg.(value & opt int 0 & info [ "rq" ] ~doc:"Range-query percentage.") in
+  let rq_size_arg = Arg.(value & opt int 64 & info [ "rq-size" ] ~doc:"Range-query width.") in
+  let size_arg = Arg.(value & opt int 100_000 & info [ "size" ] ~doc:"Initial keys.") in
+  let range_arg =
+    Arg.(value & opt (some int) None & info [ "range" ] ~doc:"Key range (default 2x size).")
+  in
+  let run threads duration schemes structure update rq rq_size size range =
+    let e =
+      {
+        Workload.Experiments.id = "custom";
+        title =
+          Printf.sprintf "custom: %s, %d%% updates / %d%% RQ(%d), %d keys"
+            (Workload.Instances.structure_name structure)
+            update rq rq_size size;
+        expected = "(custom workload)";
+        structure;
+        mix =
+          (fun s ->
+            {
+              s with
+              Workload.Driver.update_pct = update;
+              rq_pct = rq;
+              rq_size;
+              init_size = size;
+              key_range = (match range with Some r -> r | None -> 2 * size);
+            });
+      }
+    in
+    ignore (Workload.Experiments.run_set_exp ~threads ~duration ~schemes e)
+  in
+  Cmd.v
+    (Cmd.info "custom" ~doc:"Custom workload on any structure")
+    Term.(
+      const run $ threads_arg $ duration_arg $ schemes_arg $ structure_arg $ update_arg
+      $ rq_arg $ rq_size_arg $ size_arg $ range_arg)
+
+let () =
+  let info =
+    Cmd.info "cdrc-bench" ~version:"1.0.0"
+      ~doc:
+        "Benchmarks reproducing 'Turning Manual Concurrent Memory Reclamation into \
+         Automatic Reference Counting' (PLDI 2022)"
+  in
+  let cmds =
+    List.map run_set_exp_cmd Workload.Experiments.set_experiments
+    @ [ fig12_cmd; abl_sticky_cmd; abl_epochfreq_cmd; abl_hpslots_cmd; ext_stack_cmd; custom_cmd ]
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/cyclic_graph.ml: Array Cdrc Printf Smr

@@ -1,0 +1,1 @@
+examples/kv_cache.ml: Atomic Cdrc Domain List Printf Smr Sys

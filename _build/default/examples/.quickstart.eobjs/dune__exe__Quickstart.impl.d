@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cdrc Printf Smr

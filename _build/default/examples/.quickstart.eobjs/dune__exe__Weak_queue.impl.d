@@ -1,0 +1,1 @@
+examples/weak_queue.ml: Atomic Cdrc Domain Ds List Printf Smr

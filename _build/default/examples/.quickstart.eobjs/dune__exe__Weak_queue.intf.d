@@ -1,0 +1,1 @@
+examples/weak_queue.mli:

@@ -1,0 +1,60 @@
+(* Producers/consumers over the Ramalhete-Correia doubly-linked queue
+   built on atomic weak pointers (paper §4.6, Fig 10) — the workload
+   behind Fig 12.
+
+   The queue's [prev] pointers are atomic weak pointers: they let
+   enqueuers help each other backwards through the list without
+   creating prev/next strong cycles, so nodes reclaim automatically the
+   moment they are dequeued and unreferenced.
+
+   Run with:  dune exec examples/weak_queue.exe *)
+
+module R = Cdrc.Make (Smr.Hp) (* the paper's Fig 12 uses the HP-backed runtime *)
+module Q = Ds.Dl_queue_rc.Make (R)
+
+let producers = 2
+let consumers = 2
+let per_producer = 20_000
+
+let () =
+  let q = Q.create ~max_threads:(producers + consumers) () in
+  let produced = Atomic.make 0 in
+  let consumed = Atomic.make 0 in
+  let sum = Atomic.make 0 in
+  let producer pid () =
+    let c = Q.ctx q pid in
+    for i = 1 to per_producer do
+      Q.enqueue c i;
+      ignore (Atomic.fetch_and_add produced 1)
+    done;
+    Q.flush c
+  in
+  let consumer pid () =
+    let c = Q.ctx q pid in
+    let continue = ref true in
+    while !continue do
+      match Q.dequeue c with
+      | Some v ->
+          ignore (Atomic.fetch_and_add sum v);
+          ignore (Atomic.fetch_and_add consumed 1)
+      | None ->
+          if Atomic.get produced >= producers * per_producer
+             && Atomic.get consumed >= Atomic.get produced
+          then continue := false
+          else Domain.cpu_relax ()
+    done;
+    Q.flush c
+  in
+  let ds =
+    List.init producers (fun i -> Domain.spawn (producer i))
+    @ List.init consumers (fun i -> Domain.spawn (consumer (producers + i)))
+  in
+  List.iter Domain.join ds;
+  let expected = producers * (per_producer * (per_producer + 1) / 2) in
+  Printf.printf "produced %d, consumed %d, sum=%d (expected %d)\n" (Atomic.get produced)
+    (Atomic.get consumed) (Atomic.get sum) expected;
+  Q.teardown q;
+  Printf.printf "live objects after teardown: %d (0 = weak pointers broke every cycle)\n"
+    (Q.live_objects q);
+  assert (Atomic.get sum = expected);
+  assert (Q.live_objects q = 0)

@@ -1,0 +1,128 @@
+(** Generalized acquire–retire (paper §3.1, Fig 2).
+
+    This layer packages any manual SMR scheme as the paper's
+    generalized interface: [alloc] / [retire] / [eject] plus critical
+    sections and the typed [acquire] / [try_acquire] / [release]
+    protocol. It is the contribution that lets reference counting (and
+    the manual data structures) be written once against a scheme-
+    agnostic API.
+
+    Differences from Fig 2, forced by OCaml and documented in
+    DESIGN.md: [alloc] wraps an existing value in a {!Make.managed}
+    record (carrying the birth tag and the simulated-heap block) rather
+    than calling a constructor; [eject] returns deferred closures for
+    the caller to run (never reentrantly — use {!Make.drain}); the
+    typed read of the shared location is supplied by the caller as a
+    [read] function. *)
+
+module Make (S : Smr.Smr_intf.S) = struct
+  module Smr_impl = S
+
+  type guard = S.guard
+
+  type t = { smr : S.t; heap : Simheap.t }
+
+  (** A value under acquire–retire management. [alloc] is part of the
+      Fig 2 interface because IBR and HE must tag each object with a
+      birth epoch at allocation time. *)
+  type 'a managed = { value : 'a; birth : int; block : Simheap.block }
+
+  let create ?epoch_freq ?cleanup_freq ?slots_per_thread ?heap ~max_threads () =
+    let heap =
+      match heap with Some h -> h | None -> Simheap.create ~name:("ar-" ^ S.name) ()
+    in
+    { smr = S.create ?epoch_freq ?cleanup_freq ?slots_per_thread ~max_threads (); heap }
+
+  let smr t = t.smr
+  let heap t = t.heap
+  let max_threads t = S.max_threads t.smr
+
+  let alloc t ~pid value =
+    { value; birth = S.alloc_hook t.smr ~pid; block = Simheap.alloc t.heap }
+
+  let get (m : _ managed) =
+    Simheap.check_live m.block;
+    m.value
+
+  let is_live (m : _ managed) = Simheap.is_live m.block
+  let ident (m : _ managed) = Smr.Ident.of_val m
+
+  let begin_critical_section t ~pid = S.begin_critical_section t.smr ~pid
+  let end_critical_section t ~pid = S.end_critical_section t.smr ~pid
+
+  let critically t ~pid f =
+    begin_critical_section t ~pid;
+    Fun.protect ~finally:(fun () -> end_critical_section t ~pid) f
+
+  (* The two-phase announce/confirm protocol described in
+     [Smr.Smr_intf]: [read] loads the shared location, [ident] projects
+     the identity token that the scheme announces and validates. *)
+
+  let acquire t ~pid ~(read : unit -> 'v) ~(ident : 'v -> Smr.Ident.t) : 'v * guard =
+    if S.confirm_is_trivial then (read (), S.acquire t.smr ~pid Smr.Ident.null)
+    else begin
+      let v0 = read () in
+      let g = S.acquire t.smr ~pid (ident v0) in
+      let rec settle () =
+        let v = read () in
+        if S.confirm t.smr ~pid g (ident v) then (v, g) else settle ()
+      in
+      settle ()
+    end
+
+  let try_acquire t ~pid ~(read : unit -> 'v) ~(ident : 'v -> Smr.Ident.t) :
+      ('v * guard) option =
+    if S.confirm_is_trivial then
+      match S.try_acquire t.smr ~pid Smr.Ident.null with
+      | Some g -> Some (read (), g)
+      | None -> None
+    else begin
+      let v0 = read () in
+      match S.try_acquire t.smr ~pid (ident v0) with
+      | None -> None
+      | Some g ->
+          let rec settle () =
+            let v = read () in
+            if S.confirm t.smr ~pid g (ident v) then Some (v, g) else settle ()
+          in
+          settle ()
+    end
+
+  let release t ~pid g = S.release t.smr ~pid g
+
+  let retire t ~pid (m : _ managed) (op : Smr.Deferred.t) =
+    S.retire t.smr ~pid (ident m) ~birth:m.birth op
+
+  (** Manual-SMR convenience: retire with the deferred operation being
+      the reclamation itself. *)
+  let retire_free t ~pid (m : _ managed) =
+    retire t ~pid m (fun _pid -> Simheap.free m.block)
+
+  let eject ?force t ~pid = S.eject ?force t.smr ~pid
+
+  (** Run every ejectable deferred operation. Safe against cascades:
+      operations executed here may retire further objects; we loop
+      until [eject] yields nothing, never recursing into a running
+      operation. *)
+  let drain t ~pid =
+    let rec go () =
+      match eject ~force:true t ~pid with
+      | [] -> ()
+      | ops ->
+          List.iter (fun op -> op pid) ops;
+          go ()
+    in
+    go ()
+
+  (** Teardown at quiescence: apply every pending deferred operation,
+      including cascades. Requires no concurrent activity. *)
+  let quiesce t =
+    let rec go () =
+      match S.drain_all t.smr with
+      | [] -> ()
+      | ops ->
+          List.iter (fun op -> op 0) ops;
+          go ()
+    in
+    go ()
+end

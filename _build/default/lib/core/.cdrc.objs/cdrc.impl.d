@@ -1,0 +1,1 @@
+lib/core/cdrc.ml: Array Atomic Cdrc_intf Fun List Queue Repro_util Simheap Smr Sticky

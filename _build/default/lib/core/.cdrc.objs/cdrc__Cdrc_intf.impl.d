@@ -1,0 +1,1 @@
+lib/core/cdrc_intf.ml: Simheap

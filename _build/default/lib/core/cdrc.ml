@@ -1,0 +1,901 @@
+(** Concurrent deferred reference counting over any manual SMR scheme —
+    the paper's core contribution (§3.4, Fig 5) extended with weak
+    pointers (§4, Figs 8–9).
+
+    {!Make} converts a manual scheme [S] (EBR, IBR, Hyaline, HP, HE)
+    into an automatic reference-counting library with the paper's six
+    pointer types:
+
+    - {e strong}: [shared] / [atomic shared (Asp)] / [snapshot]
+    - {e weak}: [weak] / [atomic weak (Awp)] / [weak_snapshot]
+
+    The conversion instantiates up to three acquire–retire instances of
+    [S] — for deferred strong decrements, deferred weak decrements, and
+    deferred disposals (Fig 8) — so that reads can protect a reference
+    count (or a disposal) instead of incrementing it.
+
+    OCaml-specific API shape (DESIGN.md S5/S6): pointers are linear
+    values with explicit [drop] instead of destructors; atomic pointer
+    CAS is logical (control-block identity + mark bit) implemented with
+    a retry loop over a boxed slot; all racy accesses and snapshot
+    lifetimes must happen inside a critical section ({!Make.critically}),
+    exactly as §3.4 requires for region schemes. *)
+
+module Make (S : Smr.Smr_intf.S) = struct
+  module Smr_impl = S
+  module Counter = Sticky.Sticky_counter
+  module Ident = Smr.Ident
+
+  let scheme_name = "RC" ^ S.name
+
+  exception Use_after_drop of string
+  (** Raised when a dropped (or moved-from) pointer is used again —
+      the analogue of C++ use-after-destructor UB, made loud. *)
+
+  (* ------------------------------------------------------------------ *)
+  (* Control blocks and the runtime *)
+
+  type 'a control_block = {
+    value : 'a option Atomic.t; (* None once disposed *)
+    strong : Counter.t;
+    weak : Counter.t; (* #weak refs + (1 if strong > 0) *)
+    birth_strong : int;
+    birth_weak : int;
+    birth_dispose : int;
+    block : Simheap.block;
+    destroy : int -> 'a -> unit; (* user hook, pid of executing thread *)
+  }
+
+  type rt = {
+    strong_ar : S.t;
+    weak_ar : S.t;
+    dispose_ar : S.t;
+    support_weak : bool;
+    heap : Simheap.t;
+    pending : Smr.Deferred.t Queue.t array; (* per-pid, owner-thread only *)
+    draining : bool array; (* per-pid reentrancy latch *)
+    nthreads : int;
+    (* instrumentation: snapshot fast (guard) vs slow (count increment)
+       paths, per thread — the mechanism behind the paper's Fig 11. *)
+    snap_fast : int Repro_util.Padded.t;
+    snap_slow : int Repro_util.Padded.t;
+  }
+
+  type thr = { rt : rt; pid : int }
+
+  let create ?(support_weak = true) ?epoch_freq ?cleanup_freq ?slots_per_thread ?heap
+      ~max_threads () =
+    let heap =
+      match heap with Some h -> h | None -> Simheap.create ~name:("rc-" ^ S.name) ()
+    in
+    let mk () = S.create ?epoch_freq ?cleanup_freq ?slots_per_thread ~max_threads () in
+    {
+      strong_ar = mk ();
+      weak_ar = mk ();
+      dispose_ar = mk ();
+      support_weak;
+      heap;
+      pending = Array.init max_threads (fun _ -> Queue.create ());
+      draining = Array.make max_threads false;
+      nthreads = max_threads;
+      snap_fast = Repro_util.Padded.create max_threads 0;
+      snap_slow = Repro_util.Padded.create max_threads 0;
+    }
+
+  let thread rt pid =
+    if pid < 0 || pid >= rt.nthreads then invalid_arg "Cdrc.thread: pid out of range";
+    { rt; pid }
+
+  let heap rt = rt.heap
+  let max_threads rt = rt.nthreads
+
+  (* ------------------------------------------------------------------ *)
+  (* Pending-operation queue: deferred operations (and the cascades they
+     trigger) are drained iteratively, never recursively — the paper's
+     rule that eject must not be re-entered (§3.2). *)
+
+  let enqueue rt ~pid (op : Smr.Deferred.t) = Queue.push op rt.pending.(pid)
+  let enqueue_all rt ~pid ops = List.iter (enqueue rt ~pid) ops
+
+  let drain rt ~pid =
+    (* Cheap early exit: this runs after every drop/store/CAS, so the
+       empty case must not allocate. *)
+    if (not (Queue.is_empty rt.pending.(pid))) && not rt.draining.(pid) then begin
+      rt.draining.(pid) <- true;
+      let q = rt.pending.(pid) in
+      Fun.protect
+        ~finally:(fun () -> rt.draining.(pid) <- false)
+        (fun () ->
+          while not (Queue.is_empty q) do
+            (Queue.pop q) pid
+          done)
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Reference-count primitives (Fig 8) *)
+
+  let expired cb = Counter.is_zero cb.strong
+
+  let must_increment cb =
+    if not (Counter.increment_if_not_zero cb.strong) then
+      failwith "Cdrc: invariant violated: increment of a dead strong count"
+
+  let weak_increment cb =
+    if not (Counter.increment_if_not_zero cb.weak) then
+      failwith "Cdrc: invariant violated: increment of a dead weak count"
+
+  let free_cb rt cb =
+    ignore rt;
+    Atomic.set cb.value None;
+    Simheap.free cb.block
+
+  let rec decrement rt ~pid cb =
+    if Counter.decrement cb.strong then
+      if rt.support_weak then delayed_dispose rt ~pid cb
+      else
+        (* Strong-only mode: no weak snapshot can observe the object, so
+           dispose as soon as the count dies — via the queue, so that a
+           destroy hook dropping a long chain cannot overflow the stack. *)
+        enqueue rt ~pid (fun epid -> dispose rt ~pid:epid cb)
+
+  and dispose rt ~pid cb =
+    (match Atomic.exchange cb.value None with
+    | Some v -> cb.destroy pid v
+    | None -> failwith "Cdrc: invariant violated: double dispose");
+    weak_decrement rt ~pid cb
+
+  and weak_decrement rt ~pid:_ cb = if Counter.decrement cb.weak then free_cb rt cb
+
+  and delayed_decrement rt ~pid cb =
+    S.retire rt.strong_ar ~pid (Ident.of_val cb) ~birth:cb.birth_strong (fun epid ->
+        decrement rt ~pid:epid cb);
+    enqueue_all rt ~pid (S.eject rt.strong_ar ~pid)
+
+  and delayed_weak_decrement rt ~pid cb =
+    S.retire rt.weak_ar ~pid (Ident.of_val cb) ~birth:cb.birth_weak (fun epid ->
+        weak_decrement rt ~pid:epid cb);
+    enqueue_all rt ~pid (S.eject rt.weak_ar ~pid)
+
+  and delayed_dispose rt ~pid cb =
+    S.retire rt.dispose_ar ~pid (Ident.of_val cb) ~birth:cb.birth_dispose (fun epid ->
+        dispose rt ~pid:epid cb);
+    enqueue_all rt ~pid (S.eject rt.dispose_ar ~pid)
+
+  (* ------------------------------------------------------------------ *)
+  (* Slots: the value stored in atomic shared/weak pointer cells.
+     Logical CAS compares control-block identity plus the mark bit;
+     marks are first-class because the paper's benchmarks all need
+     marked pointers (§5.1). *)
+
+  (* Tags are 2-bit integers packed next to the pointer, exactly like
+     the low pointer bits C++ implementations steal: bit 0 is the
+     Harris "mark", bit 1 the Natarajan–Mittal "tag"/"flag" second bit.
+     The untagged [Ptr] constructor keeps the hot path a one-field
+     block. *)
+  type 'a slot =
+    | Null
+    | Null_tagged of int (* tag in 1..3 *)
+    | Ptr of 'a control_block
+    | Tagged of 'a control_block * int (* tag in 1..3 *)
+
+  type 'a ptr = 'a slot
+  (** A non-owning view of a pointer value: what atomic cells hold and
+      what CAS compares. Obtain views from owned pointers ([Shared.ptr],
+      [Snapshot.ptr], …); a view is valid only while its backing owner
+      is live. *)
+
+  let slot_ident = function
+    | Null | Null_tagged _ -> Ident.null
+    | Ptr cb | Tagged (cb, _) -> Ident.of_val cb
+
+  let slot_tag = function Null | Ptr _ -> 0 | Null_tagged g | Tagged (_, g) -> g
+
+  let slot_eq a b =
+    match (a, b) with
+    | Null, Null -> true
+    | Null_tagged g, Null_tagged h -> g = h
+    | Ptr x, Ptr y -> x == y
+    | Tagged (x, g), Tagged (y, h) -> x == y && g = h
+    | _ -> false
+
+  let cb_of = function Null | Null_tagged _ -> None | Ptr cb | Tagged (cb, _) -> Some cb
+
+  module Ptr = struct
+    type 'a t = 'a ptr
+
+    let null : 'a t = Null
+    let is_null = function Null | Null_tagged _ -> true | Ptr _ | Tagged _ -> false
+    let tag = slot_tag
+    let is_marked p = slot_tag p land 1 <> 0
+
+    let with_tag (p : 'a t) g : 'a t =
+      if g < 0 || g > 3 then invalid_arg "Ptr.with_tag: tag must be in 0..3";
+      match (p, g) with
+      | (Null | Null_tagged _), 0 -> Null
+      | (Null | Null_tagged _), g -> Null_tagged g
+      | (Ptr cb | Tagged (cb, _)), 0 -> Ptr cb
+      | (Ptr cb | Tagged (cb, _)), g -> Tagged (cb, g)
+
+    let with_mark (p : 'a t) m : 'a t =
+      with_tag p (if m then slot_tag p lor 1 else slot_tag p land lnot 1)
+
+    let equal = slot_eq
+
+    let same_object a b =
+      match (cb_of a, cb_of b) with
+      | None, None -> true
+      | Some x, Some y -> x == y
+      | _ -> false
+
+    (** Logical value read (unprotected!): only for diagnostics,
+        quiescent inspection, and values the caller knows are pinned. *)
+    let strong_count p = match cb_of p with None -> 0 | Some cb -> Counter.load cb.strong
+  end
+
+  (* ------------------------------------------------------------------ *)
+  (* The announce/confirm protocol against a slot-holding atomic cell *)
+
+  let settle_guard ar ~pid g id =
+    while not (S.confirm ar ~pid g id) do
+      ()
+    done
+
+  (* When confirm is constantly true (EBR/Hyaline), the first load is
+     already protected by the ambient critical section: single-load
+     fast path, the reason region schemes are cheap (paper §2). *)
+  let protect_load ar ~pid (loc : 'a slot Atomic.t) : 'a slot * S.guard =
+    if S.confirm_is_trivial then (Atomic.get loc, S.acquire ar ~pid Ident.null)
+    else begin
+      let v0 = Atomic.get loc in
+      let g = S.acquire ar ~pid (slot_ident v0) in
+      let rec settle () =
+        let v = Atomic.get loc in
+        if S.confirm ar ~pid g (slot_ident v) then (v, g) else settle ()
+      in
+      settle ()
+    end
+
+  let try_protect_load ar ~pid (loc : 'a slot Atomic.t) : ('a slot * S.guard) option =
+    if S.confirm_is_trivial then
+      match S.try_acquire ar ~pid Ident.null with
+      | Some g -> Some (Atomic.get loc, g)
+      | None -> None
+    else begin
+      let v0 = Atomic.get loc in
+      match S.try_acquire ar ~pid (slot_ident v0) with
+      | None -> None
+      | Some g ->
+          let rec settle () =
+            let v = Atomic.get loc in
+            if S.confirm ar ~pid g (slot_ident v) then Some (v, g) else settle ()
+          in
+          settle ()
+    end
+
+  (* Logical CAS over a slot cell: succeed iff the current slot equals
+     [expected] (cb identity + mark). Physical CAS failure against a
+     logically-equal but re-boxed slot retries (DESIGN.md S5). *)
+  let rec slot_cas (loc : 'a slot Atomic.t) expected desired =
+    let cur = Atomic.get loc in
+    if not (slot_eq cur expected) then false
+    else if Atomic.compare_and_set loc cur desired then true
+    else slot_cas loc expected desired
+
+  (* ------------------------------------------------------------------ *)
+  (* Critical sections (§3.4) *)
+
+  let begin_critical_section (t : thr) =
+    S.begin_critical_section t.rt.strong_ar ~pid:t.pid;
+    if t.rt.support_weak then begin
+      S.begin_critical_section t.rt.weak_ar ~pid:t.pid;
+      S.begin_critical_section t.rt.dispose_ar ~pid:t.pid
+    end
+
+  let end_critical_section (t : thr) =
+    S.end_critical_section t.rt.strong_ar ~pid:t.pid;
+    if t.rt.support_weak then begin
+      S.end_critical_section t.rt.weak_ar ~pid:t.pid;
+      S.end_critical_section t.rt.dispose_ar ~pid:t.pid
+    end
+
+  let critically (t : thr) f =
+    begin_critical_section t;
+    Fun.protect ~finally:(fun () -> end_critical_section t) f
+
+  (* ------------------------------------------------------------------ *)
+  (* Owned pointer types *)
+
+  type 'a shared = { mutable s_cb : 'a control_block option; mutable s_live : bool }
+
+  type 'a snapshot = {
+    n_cb : 'a control_block option;
+    n_guard : S.guard option; (* Some = fast path; None = counted *)
+    n_tag : int;
+    mutable n_live : bool;
+  }
+
+  type 'a weak = { mutable w_cb : 'a control_block option; mutable w_live : bool }
+
+  type 'a weak_snapshot = {
+    ws_cb : 'a control_block option;
+    ws_guard : S.guard option; (* Some = dispose guard; None = counted *)
+    ws_tag : int;
+    mutable ws_live : bool;
+  }
+
+  type 'a asp = { asp : 'a slot Atomic.t }
+  type 'a awp = { awp : 'a slot Atomic.t }
+
+  let check_owner live what = if not live then raise (Use_after_drop what)
+
+  (* ------------------------------------------------------------------ *)
+
+  module Shared = struct
+    type 'a t = 'a shared
+
+    let null () : 'a t = { s_cb = None; s_live = true }
+
+    let make (t : thr) ?destroy v : 'a t =
+      let rt = t.rt in
+      let destroy =
+        match destroy with
+        | None -> fun _pid _v -> ()
+        | Some d -> fun pid v -> d (thread rt pid) v
+      in
+      let cb =
+        {
+          value = Atomic.make (Some v);
+          strong = Counter.create 1;
+          weak = Counter.create 1;
+          birth_strong = S.alloc_hook rt.strong_ar ~pid:t.pid;
+          birth_weak = (if rt.support_weak then S.alloc_hook rt.weak_ar ~pid:t.pid else 0);
+          birth_dispose =
+            (if rt.support_weak then S.alloc_hook rt.dispose_ar ~pid:t.pid else 0);
+          block = Simheap.alloc rt.heap;
+          destroy;
+        }
+      in
+      { s_cb = Some cb; s_live = true }
+
+    let is_null (p : 'a t) =
+      check_owner p.s_live "shared";
+      p.s_cb = None
+
+    let get (p : 'a t) =
+      check_owner p.s_live "shared";
+      match p.s_cb with
+      | None -> invalid_arg "Shared.get: null pointer"
+      | Some cb -> (
+          Simheap.check_live cb.block;
+          match Atomic.get cb.value with
+          | Some v -> v
+          | None -> failwith "Cdrc: invariant violated: strong deref of disposed object")
+
+    let ptr (p : 'a t) : 'a ptr =
+      check_owner p.s_live "shared";
+      match p.s_cb with None -> Null | Some cb -> Ptr cb
+
+    let copy (t : thr) (p : 'a t) : 'a t =
+      ignore t;
+      check_owner p.s_live "shared";
+      match p.s_cb with
+      | None -> null ()
+      | Some cb ->
+          must_increment cb;
+          { s_cb = Some cb; s_live = true }
+
+    let drop (t : thr) (p : 'a t) =
+      check_owner p.s_live "shared";
+      p.s_live <- false;
+      (match p.s_cb with
+      | None -> ()
+      | Some cb ->
+          p.s_cb <- None;
+          decrement t.rt ~pid:t.pid cb);
+      drain t.rt ~pid:t.pid
+
+    let use_count (p : 'a t) =
+      check_owner p.s_live "shared";
+      match p.s_cb with None -> 0 | Some cb -> Counter.load cb.strong
+
+    let weak_count (p : 'a t) =
+      check_owner p.s_live "shared";
+      match p.s_cb with None -> 0 | Some cb -> Counter.load cb.weak
+
+    let equal (a : 'a t) (b : 'a t) =
+      check_owner a.s_live "shared";
+      check_owner b.s_live "shared";
+      match (a.s_cb, b.s_cb) with
+      | None, None -> true
+      | Some x, Some y -> x == y
+      | _ -> false
+
+    (** Scoped allocation: the pointer is dropped when [f] returns or
+        raises (the OCaml stand-in for C++ scope-bound destruction,
+        DESIGN.md S6). *)
+    let scoped (t : thr) ?destroy v f =
+      let p = make t ?destroy v in
+      Fun.protect ~finally:(fun () -> drop t p) (fun () -> f p)
+  end
+
+  module Snapshot = struct
+    type 'a t = 'a snapshot
+
+    let null () : 'a t = { n_cb = None; n_guard = None; n_tag = 0; n_live = true }
+
+    let is_null (p : 'a t) =
+      check_owner p.n_live "snapshot";
+      p.n_cb = None
+
+    let is_marked (p : 'a t) =
+      check_owner p.n_live "snapshot";
+      p.n_tag land 1 <> 0
+
+    let tag (p : 'a t) =
+      check_owner p.n_live "snapshot";
+      p.n_tag
+
+    let get (p : 'a t) =
+      check_owner p.n_live "snapshot";
+      match p.n_cb with
+      | None -> invalid_arg "Snapshot.get: null snapshot"
+      | Some cb -> (
+          Simheap.check_live cb.block;
+          match Atomic.get cb.value with
+          | Some v -> v
+          | None -> failwith "Cdrc: invariant violated: snapshot deref of disposed object")
+
+    let ptr ?tag (p : 'a t) : 'a ptr =
+      check_owner p.n_live "snapshot";
+      let g = match tag with Some g -> g | None -> p.n_tag in
+      let base = match p.n_cb with None -> Null | Some cb -> Ptr cb in
+      Ptr.with_tag base g
+
+    (* Fig 5, snapshot_ptr::release *)
+    let drop (t : thr) (p : 'a t) =
+      check_owner p.n_live "snapshot";
+      p.n_live <- false;
+      (match (p.n_guard, p.n_cb) with
+      | Some g, _ -> S.release t.rt.strong_ar ~pid:t.pid g
+      | None, Some cb -> decrement t.rt ~pid:t.pid cb
+      | None, None -> ());
+      drain t.rt ~pid:t.pid
+
+    (** Upgrade to an owning shared pointer (the snapshot stays live). *)
+    let to_shared (t : thr) (p : 'a t) : 'a shared =
+      ignore t;
+      check_owner p.n_live "snapshot";
+      match p.n_cb with
+      | None -> Shared.null ()
+      | Some cb ->
+          must_increment cb;
+          { s_cb = Some cb; s_live = true }
+
+    let use_count (p : 'a t) =
+      check_owner p.n_live "snapshot";
+      match p.n_cb with None -> 0 | Some cb -> Counter.load cb.strong
+
+    let is_protected (p : 'a t) = p.n_guard <> None
+  end
+
+  module Asp = struct
+    type 'a t = 'a asp
+
+    let make_null () : 'a t = { asp = Atomic.make Null }
+
+    (** Initialize a cell from an owned view, taking a count unit. *)
+    let make (t : thr) (v : 'a ptr) : 'a t =
+      ignore t;
+      (match cb_of v with Some cb -> must_increment cb | None -> ());
+      { asp = Atomic.make v }
+
+    (** Unprotected read of the current logical value. Only safe for
+        diagnostics or quiescent inspection. *)
+    let unsafe_ptr (c : 'a t) : 'a ptr = Atomic.get c.asp
+
+    (* Fig 8 load_and_increment *)
+    let load (t : thr) (c : 'a t) : 'a shared =
+      let v, g = protect_load t.rt.strong_ar ~pid:t.pid c.asp in
+      let res =
+        match cb_of v with
+        | None -> Shared.null ()
+        | Some cb ->
+            must_increment cb;
+            { s_cb = Some cb; s_live = true }
+      in
+      S.release t.rt.strong_ar ~pid:t.pid g;
+      res
+
+    let store (t : thr) (c : 'a t) (desired : 'a ptr) =
+      (match cb_of desired with Some cb -> must_increment cb | None -> ());
+      let old = Atomic.exchange c.asp desired in
+      (match cb_of old with
+      | Some cb -> delayed_decrement t.rt ~pid:t.pid cb
+      | None -> ());
+      drain t.rt ~pid:t.pid
+
+    (** Logical CAS. [desired] must be backed by an owned reference the
+        caller holds across the call (shared, snapshot, or the null
+        view); on success the cell takes a new count unit on [desired]
+        and releases (deferred) its unit on [expected]. *)
+    let compare_and_swap (t : thr) (c : 'a t) ~(expected : 'a ptr) ~(desired : 'a ptr) =
+      (match cb_of desired with Some cb -> must_increment cb | None -> ());
+      if slot_cas c.asp expected desired then begin
+        (match cb_of expected with
+        | Some cb -> delayed_decrement t.rt ~pid:t.pid cb
+        | None -> ());
+        drain t.rt ~pid:t.pid;
+        true
+      end
+      else begin
+        (match cb_of desired with
+        | Some cb -> decrement t.rt ~pid:t.pid cb
+        | None -> ());
+        drain t.rt ~pid:t.pid;
+        false
+      end
+
+    (** Attempt to set the mark bit on the current value if it equals
+        [expected] unmarked — the pointer-tagging idiom of Harris-style
+        structures, provided natively so data structures need no extra
+        count traffic. *)
+    let try_mark (t : thr) (c : 'a t) ~(expected : 'a ptr) =
+      ignore t;
+      slot_cas c.asp (Ptr.with_mark expected false) (Ptr.with_mark expected true)
+
+    let bump counter (t : thr) =
+      Repro_util.Padded.set counter t.pid (Repro_util.Padded.get counter t.pid + 1)
+
+    (* Fig 5 get_snapshot *)
+    let get_snapshot (t : thr) (c : 'a t) : 'a snapshot =
+      match try_protect_load t.rt.strong_ar ~pid:t.pid c.asp with
+      | Some (v, g) -> (
+          bump t.rt.snap_fast t;
+          match cb_of v with
+          | None ->
+              S.release t.rt.strong_ar ~pid:t.pid g;
+              { n_cb = None; n_guard = None; n_tag = slot_tag v; n_live = true }
+          | Some cb -> { n_cb = Some cb; n_guard = Some g; n_tag = slot_tag v; n_live = true })
+      | None -> (
+          (* Slow path: protect with the reserved slot, take a real
+             count, release the slot (Fig 5 lines 8–11). *)
+          bump t.rt.snap_slow t;
+          let v, g = protect_load t.rt.strong_ar ~pid:t.pid c.asp in
+          match cb_of v with
+          | None ->
+              S.release t.rt.strong_ar ~pid:t.pid g;
+              { n_cb = None; n_guard = None; n_tag = slot_tag v; n_live = true }
+          | Some cb ->
+              must_increment cb;
+              S.release t.rt.strong_ar ~pid:t.pid g;
+              { n_cb = Some cb; n_guard = None; n_tag = slot_tag v; n_live = true })
+
+    (** Scoped snapshot: dropped when [f] returns or raises. *)
+    let with_snapshot (t : thr) (c : 'a t) f =
+      let s = get_snapshot t c in
+      Fun.protect ~finally:(fun () -> Snapshot.drop t s) (fun () -> f s)
+
+    (** Release the cell's count unit (node teardown in destroy hooks). *)
+    let clear (t : thr) (c : 'a t) =
+      let old = Atomic.exchange c.asp Null in
+      (match cb_of old with
+      | Some cb -> delayed_decrement t.rt ~pid:t.pid cb
+      | None -> ());
+      drain t.rt ~pid:t.pid
+  end
+
+  (* ------------------------------------------------------------------ *)
+  (* Weak side (§4, Fig 9) *)
+
+  let require_weak rt =
+    if not rt.support_weak then
+      invalid_arg "Cdrc: weak pointers need a runtime created with ~support_weak:true"
+
+  module Weak = struct
+    type 'a t = 'a weak
+
+    let null () : 'a t = { w_cb = None; w_live = true }
+
+    let of_shared (t : thr) (p : 'a shared) : 'a t =
+      require_weak t.rt;
+      check_owner p.s_live "shared";
+      match p.s_cb with
+      | None -> null ()
+      | Some cb ->
+          weak_increment cb;
+          { w_cb = Some cb; w_live = true }
+
+    let of_snapshot (t : thr) (p : 'a snapshot) : 'a t =
+      require_weak t.rt;
+      check_owner p.n_live "snapshot";
+      match p.n_cb with
+      | None -> null ()
+      | Some cb ->
+          weak_increment cb;
+          { w_cb = Some cb; w_live = true }
+
+    let is_null (p : 'a t) =
+      check_owner p.w_live "weak";
+      p.w_cb = None
+
+    let expired (p : 'a t) =
+      check_owner p.w_live "weak";
+      match p.w_cb with None -> true | Some cb -> expired cb
+
+    let ptr (p : 'a t) : 'a ptr =
+      check_owner p.w_live "weak";
+      match p.w_cb with None -> Null | Some cb -> Ptr cb
+
+    (** Upgrade ("lock"): returns a null shared pointer if the object
+        has expired. The sticky counter makes this a single
+        increment-if-not-zero — no CAS loop (§4.3). *)
+    let lock (t : thr) (p : 'a t) : 'a shared =
+      ignore t;
+      check_owner p.w_live "weak";
+      match p.w_cb with
+      | None -> Shared.null ()
+      | Some cb ->
+          if Counter.increment_if_not_zero cb.strong then { s_cb = Some cb; s_live = true }
+          else Shared.null ()
+
+    let copy (t : thr) (p : 'a t) : 'a t =
+      ignore t;
+      check_owner p.w_live "weak";
+      match p.w_cb with
+      | None -> null ()
+      | Some cb ->
+          weak_increment cb;
+          { w_cb = Some cb; w_live = true }
+
+    let drop (t : thr) (p : 'a t) =
+      check_owner p.w_live "weak";
+      p.w_live <- false;
+      (match p.w_cb with
+      | None -> ()
+      | Some cb ->
+          p.w_cb <- None;
+          weak_decrement t.rt ~pid:t.pid cb);
+      drain t.rt ~pid:t.pid
+
+    let weak_count (p : 'a t) =
+      check_owner p.w_live "weak";
+      match p.w_cb with None -> 0 | Some cb -> Counter.load cb.weak
+  end
+
+  module Weak_snapshot = struct
+    type 'a t = 'a weak_snapshot
+
+    let null () : 'a t =
+      { ws_cb = None; ws_guard = None; ws_tag = 0; ws_live = true }
+
+    let is_null (p : 'a t) =
+      check_owner p.ws_live "weak_snapshot";
+      p.ws_cb = None
+
+    let is_marked (p : 'a t) =
+      check_owner p.ws_live "weak_snapshot";
+      p.ws_tag land 1 <> 0
+
+    let tag (p : 'a t) =
+      check_owner p.ws_live "weak_snapshot";
+      p.ws_tag
+
+    let get (p : 'a t) =
+      check_owner p.ws_live "weak_snapshot";
+      match p.ws_cb with
+      | None -> invalid_arg "Weak_snapshot.get: null snapshot"
+      | Some cb -> (
+          Simheap.check_live cb.block;
+          match Atomic.get cb.value with
+          | Some v -> v
+          | None ->
+              failwith "Cdrc: invariant violated: weak snapshot deref of disposed object")
+
+    let ptr ?tag (p : 'a t) : 'a ptr =
+      check_owner p.ws_live "weak_snapshot";
+      let g = match tag with Some g -> g | None -> p.ws_tag in
+      let base = match p.ws_cb with None -> Null | Some cb -> Ptr cb in
+      Ptr.with_tag base g
+
+    (** Upgrade to a shared pointer; null if the object expired. *)
+    let to_shared (t : thr) (p : 'a t) : 'a shared =
+      ignore t;
+      check_owner p.ws_live "weak_snapshot";
+      match p.ws_cb with
+      | None -> Shared.null ()
+      | Some cb ->
+          if Counter.increment_if_not_zero cb.strong then { s_cb = Some cb; s_live = true }
+          else Shared.null ()
+
+    (* Fig 9, weak_snapshot_ptr::release *)
+    let drop (t : thr) (p : 'a t) =
+      check_owner p.ws_live "weak_snapshot";
+      p.ws_live <- false;
+      (match (p.ws_guard, p.ws_cb) with
+      | Some g, _ -> S.release t.rt.dispose_ar ~pid:t.pid g
+      | None, Some cb -> decrement t.rt ~pid:t.pid cb
+      | None, None -> ());
+      drain t.rt ~pid:t.pid
+
+    let is_protected (p : 'a t) = p.ws_guard <> None
+  end
+
+  module Awp = struct
+    type 'a t = 'a awp
+
+    let make_null () : 'a t =
+      { awp = Atomic.make Null }
+
+    let make (t : thr) (v : 'a ptr) : 'a t =
+      require_weak t.rt;
+      (match cb_of v with Some cb -> weak_increment cb | None -> ());
+      { awp = Atomic.make v }
+
+    let unsafe_ptr (c : 'a t) : 'a ptr = Atomic.get c.awp
+
+    (* Fig 9 store: weak-increment desired, exchange, deferred
+       weak-decrement of the old value. *)
+    let store (t : thr) (c : 'a t) (desired : 'a ptr) =
+      require_weak t.rt;
+      (match cb_of desired with Some cb -> weak_increment cb | None -> ());
+      let old = Atomic.exchange c.awp desired in
+      (match cb_of old with
+      | Some cb -> delayed_weak_decrement t.rt ~pid:t.pid cb
+      | None -> ());
+      drain t.rt ~pid:t.pid
+
+    (* Fig 9 load *)
+    let load (t : thr) (c : 'a t) : 'a weak =
+      require_weak t.rt;
+      let v, g = protect_load t.rt.weak_ar ~pid:t.pid c.awp in
+      let res =
+        match cb_of v with
+        | None -> Weak.null ()
+        | Some cb ->
+            weak_increment cb;
+            { w_cb = Some cb; w_live = true }
+      in
+      S.release t.rt.weak_ar ~pid:t.pid g;
+      res
+
+    (* Fig 9 compare_and_swap. [desired] must be backed by an owned
+       weak-counted reference (weak, shared, or weak_snapshot) held by
+       the caller across the call; OCaml's value semantics make the
+       paper's clobbered-desired race inexpressible (DESIGN.md), so the
+       guard on desired's location is unnecessary. *)
+    let compare_and_swap (t : thr) (c : 'a t) ~(expected : 'a ptr) ~(desired : 'a ptr) =
+      require_weak t.rt;
+      (match cb_of desired with Some cb -> weak_increment cb | None -> ());
+      if slot_cas c.awp expected desired then begin
+        (match cb_of expected with
+        | Some cb -> delayed_weak_decrement t.rt ~pid:t.pid cb
+        | None -> ());
+        drain t.rt ~pid:t.pid;
+        true
+      end
+      else begin
+        (match cb_of desired with
+        | Some cb -> weak_decrement t.rt ~pid:t.pid cb
+        | None -> ());
+        drain t.rt ~pid:t.pid;
+        false
+      end
+
+    (* Fig 9 get_snapshot *)
+    let get_snapshot (t : thr) (c : 'a t) : 'a weak_snapshot =
+      require_weak t.rt;
+      let rt = t.rt in
+      let pid = t.pid in
+      let rec retry () =
+        let v, wg = protect_load rt.weak_ar ~pid c.awp in
+        match cb_of v with
+        | None ->
+            S.release rt.weak_ar ~pid wg;
+            { ws_cb = None; ws_guard = None; ws_tag = slot_tag v; ws_live = true }
+        | Some cb -> (
+            let id = Ident.of_val cb in
+            let dg = S.try_acquire rt.dispose_ar ~pid id in
+            let alive =
+              match dg with
+              | Some g ->
+                  (* For IBR/HE the dispose-side interval must be
+                     re-stabilized before trusting the liveness read. *)
+                  settle_guard rt.dispose_ar ~pid g id;
+                  not (expired cb)
+              | None ->
+                  (* Fig 9 line 26: out of dispose guards — fall back to
+                     a real strong increment if the object is alive. *)
+                  Counter.increment_if_not_zero cb.strong
+            in
+            if alive then begin
+              S.release rt.weak_ar ~pid wg;
+              {
+                ws_cb = Some cb;
+                ws_guard = dg;
+                ws_tag = slot_tag v;
+                ws_live = true;
+              }
+            end
+            else begin
+              (match dg with Some g -> S.release rt.dispose_ar ~pid g | None -> ());
+              S.release rt.weak_ar ~pid wg;
+              (* Fig 9 lines 34–35: only linearizable to return null if
+                 the cell still holds the expired pointer. *)
+              if slot_eq (Atomic.get c.awp) v then
+                {
+                  ws_cb = None;
+                  ws_guard = None;
+                  ws_tag = slot_tag v;
+                  ws_live = true;
+                }
+              else retry ()
+            end)
+      in
+      retry ()
+
+    let clear (t : thr) (c : 'a t) =
+      require_weak t.rt;
+      let old = Atomic.exchange c.awp Null in
+      (match cb_of old with
+      | Some cb -> delayed_weak_decrement t.rt ~pid:t.pid cb
+      | None -> ());
+      drain t.rt ~pid:t.pid
+  end
+
+  (* ------------------------------------------------------------------ *)
+  (* Maintenance *)
+
+  (** Apply every deferred operation that is currently safe (plus the
+      cascades it triggers). Benchmarks call this between phases. *)
+  let flush (t : thr) =
+    let rt = t.rt in
+    let pid = t.pid in
+    enqueue_all rt ~pid (S.eject ~force:true rt.strong_ar ~pid);
+    if rt.support_weak then begin
+      enqueue_all rt ~pid (S.eject ~force:true rt.weak_ar ~pid);
+      enqueue_all rt ~pid (S.eject ~force:true rt.dispose_ar ~pid)
+    end;
+    drain rt ~pid
+
+  (** Teardown at quiescence: repeatedly drain every acquire–retire
+      instance and every pending queue until nothing remains. After
+      [quiesce], every unreachable object has been reclaimed; with no
+      strong cycles, [Simheap.live rt.heap] counts exactly the objects
+      still owned by live pointers. *)
+  let quiesce rt =
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let ops =
+        S.drain_all rt.strong_ar @ S.drain_all rt.weak_ar @ S.drain_all rt.dispose_ar
+      in
+      if ops <> [] then progress := true;
+      List.iter (fun op -> op 0) ops;
+      Array.iteri
+        (fun pid q ->
+          while not (Queue.is_empty q) do
+            progress := true;
+            (Queue.pop q) pid
+          done)
+        rt.pending
+    done
+
+  let live_objects rt = Simheap.live rt.heap
+  let peak_objects rt = Simheap.peak rt.heap
+
+  (** Snapshot path statistics: (fast guard-protected, slow
+      count-incrementing) totals since creation. The slow share is the
+      Fig 11 mechanism: protected-pointer schemes fall back to real
+      increments when announcement slots run out. *)
+  let snapshot_stats rt =
+    ( Repro_util.Padded.fold ( + ) 0 rt.snap_fast,
+      Repro_util.Padded.fold ( + ) 0 rt.snap_slow )
+end
+
+(** Re-export of the scheme-agnostic public signature (the [cdrc]
+    library's entry module hides sibling modules, so expose it here). *)
+module Intf = Cdrc_intf
+
+(* Compile-time check that Make's output satisfies the scheme-agnostic
+   public signature consumed by data structures and benchmarks. *)
+module Check (S : Smr.Smr_intf.S) : Cdrc_intf.S = Make (S)

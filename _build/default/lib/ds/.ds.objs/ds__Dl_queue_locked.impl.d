@@ -1,0 +1,1 @@
+lib/ds/dl_queue_locked.ml: Mutex Queue Simheap Sticky

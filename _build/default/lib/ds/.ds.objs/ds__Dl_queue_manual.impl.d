@@ -1,0 +1,1 @@
+lib/ds/dl_queue_manual.ml: Array Atomic List Queue Repro_util Simheap Smr

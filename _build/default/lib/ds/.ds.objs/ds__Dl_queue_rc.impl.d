@@ -1,0 +1,1 @@
+lib/ds/dl_queue_rc.ml: Cdrc

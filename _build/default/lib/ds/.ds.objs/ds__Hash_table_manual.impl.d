@@ -1,0 +1,1 @@
+lib/ds/hash_table_manual.ml: Array Atomic Fun Hm_list_manual Smr

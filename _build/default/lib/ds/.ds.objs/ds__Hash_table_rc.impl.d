@@ -1,0 +1,1 @@
+lib/ds/hash_table_rc.ml: Array Cdrc Hm_list_rc

@@ -1,0 +1,1 @@
+lib/ds/hm_list_manual.ml: Acquire_retire Atomic Fun List Option Simheap Smr

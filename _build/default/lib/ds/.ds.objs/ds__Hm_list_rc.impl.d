@@ -1,0 +1,1 @@
+lib/ds/hm_list_rc.ml: Cdrc Simheap

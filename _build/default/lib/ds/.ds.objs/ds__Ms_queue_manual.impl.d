@@ -1,0 +1,1 @@
+lib/ds/ms_queue_manual.ml: Acquire_retire Atomic List Option Simheap Smr

@@ -1,0 +1,1 @@
+lib/ds/ms_queue_rc.ml: Cdrc

@@ -1,0 +1,1 @@
+lib/ds/nm_tree_manual.ml: Acquire_retire Atomic List Simheap Smr

@@ -1,0 +1,1 @@
+lib/ds/nm_tree_rc.ml: Atomic Cdrc List Simheap

@@ -1,0 +1,1 @@
+lib/ds/queue_intf.ml:

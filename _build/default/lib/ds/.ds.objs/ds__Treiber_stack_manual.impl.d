@@ -1,0 +1,1 @@
+lib/ds/treiber_stack_manual.ml: Acquire_retire Atomic List Simheap Smr

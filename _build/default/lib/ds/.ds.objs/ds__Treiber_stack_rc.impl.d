@@ -1,0 +1,1 @@
+lib/ds/treiber_stack_rc.ml: Cdrc

@@ -1,0 +1,455 @@
+(** Natarajan–Mittal lock-free external binary search tree (PPoPP
+    2014) under manual SMR — the paper's main benchmark structure
+    (Figs 11, 13c–f) and its Fig 1a example of how error-prone manual
+    retirement is: the cleanup path must retire an entire chain of
+    nodes by hand, a loop several published artifacts got wrong.
+
+    Edges carry a {e flag} bit (a leaf removal is in progress through
+    this edge) and a {e tag} bit (the edge is frozen and will be
+    excised together with its parent). Seek tracks the last untagged
+    edge (ancestor → successor); cleanup tags the sibling edge and
+    swings the ancestor edge past the whole flagged chain, then retires
+    every excised node (the Fig 1a loop).
+
+    Safety caveat, reproduced deliberately: the paper notes (§5.1) that
+    HP and IBR are {e not} safe for this tree — seeks can traverse
+    frozen edges of logically removed nodes whose targets were already
+    reclaimed; "we still include these numbers … even though these
+    experiments occasionally crash". Under our simulated heap such an
+    access raises [Simheap.Use_after_free] instead of corrupting
+    memory; the operation wrappers catch it, release all held guards,
+    count the event, and restart — so the benchmark keeps running and
+    reports the violation count. EBR and Hyaline are fully safe here.
+
+    Guard discipline: only the ancestor, parent, and current nodes are
+    ever dereferenced, so at most four announcement slots are live at a
+    time during seeks; the successor is tracked without protection
+    because it is only compared and CAS-expected, never read. Range
+    queries hold a guard per path node and fall back to unprotected
+    reads when slots run out (HP/HE), matching the paper's over-budget
+    behaviour. *)
+
+module Make (S : Smr.Smr_intf.S) = struct
+  module Ar = Acquire_retire.Make (S)
+  module Ident = Smr.Ident
+
+  let name = S.name
+
+  type node = { key : int; left : edge Atomic.t; right : edge Atomic.t }
+  and edge = { dest : node Ar.managed option; flag : bool; tag : bool }
+
+  let inf2 = max_int
+  let inf1 = max_int - 1
+  let clean m = { dest = Some m; flag = false; tag = false }
+  let null_edge = { dest = None; flag = false; tag = false }
+
+  type t = {
+    ar : Ar.t;
+    root : node Ar.managed; (* the R sentinel; never retired *)
+    uaf : int Atomic.t; (* unsafe-scheme violations caught and retried *)
+    nthreads : int;
+  }
+
+  type ctx = { t : t; pid : int; mutable held : S.guard list }
+
+  let mk_leaf ar ~pid key =
+    Ar.alloc ar ~pid { key; left = Atomic.make null_edge; right = Atomic.make null_edge }
+
+  let mk_internal ar ~pid key l r =
+    Ar.alloc ar ~pid { key; left = Atomic.make (clean l); right = Atomic.make (clean r) }
+
+  let create ?slots_per_thread ?epoch_freq ?buckets:_ ~max_threads () =
+    let ar = Ar.create ?slots_per_thread ?epoch_freq ~max_threads () in
+    (* Sentinels: R(inf2) -> [ S(inf1), leaf(inf2) ];
+                  S(inf1) -> [ leaf(inf1), leaf(inf2) ]. *)
+    let l_inf1 = mk_leaf ar ~pid:0 inf1 in
+    let l_inf2a = mk_leaf ar ~pid:0 inf2 in
+    let l_inf2b = mk_leaf ar ~pid:0 inf2 in
+    let s = mk_internal ar ~pid:0 inf1 l_inf1 l_inf2a in
+    let r = mk_internal ar ~pid:0 inf2 s l_inf2b in
+    { ar; root = r; uaf = Atomic.make 0; nthreads = max_threads }
+
+  let ctx t pid = { t; pid; held = [] }
+  let uaf_events t = Atomic.get t.uaf
+  let is_leaf node = (Atomic.get node.left).dest = None
+  let ident_of e = match e.dest with None -> Ident.null | Some m -> Ident.of_val m
+
+  let edge_eq a b =
+    a.flag = b.flag && a.tag = b.tag
+    &&
+    match (a.dest, b.dest) with
+    | None, None -> true
+    | Some x, Some y -> x == y
+    | _ -> false
+
+  let rec edge_cas cell expected desired =
+    let cur = Atomic.get cell in
+    if not (edge_eq cur expected) then false
+    else if Atomic.compare_and_set cell cur desired then true
+    else edge_cas cell expected desired
+
+  (* Protect the destination of the edge in [cell]. [None] guard means
+     the announcement slots ran out: proceed unprotected (the paper's
+     over-budget HP behaviour). *)
+  let protect c cell =
+    let smr = Ar.smr c.t.ar in
+    if S.confirm_is_trivial then
+      match S.try_acquire smr ~pid:c.pid Ident.null with
+      | Some g ->
+          c.held <- g :: c.held;
+          (Atomic.get cell, Some g)
+      | None -> (Atomic.get cell, None)
+    else
+      match S.try_acquire smr ~pid:c.pid (ident_of (Atomic.get cell)) with
+      | None -> (Atomic.get cell, None)
+      | Some g ->
+          c.held <- g :: c.held;
+          let rec settle () =
+            let v = Atomic.get cell in
+            if S.confirm smr ~pid:c.pid g (ident_of v) then (v, Some g) else settle ()
+          in
+          settle ()
+
+  let release c = function
+    | None -> ()
+    | Some g ->
+        c.held <- List.filter (fun h -> h <> g) c.held;
+        S.release (Ar.smr c.t.ar) ~pid:c.pid g
+
+  let release_all c =
+    List.iter (fun g -> S.release (Ar.smr c.t.ar) ~pid:c.pid g) c.held;
+    c.held <- []
+
+  let run_ejects c =
+    match Ar.eject c.t.ar ~pid:c.pid with
+    | [] -> ()
+    | ops -> List.iter (fun op -> op c.pid) ops
+
+  (* Seek record (paper Fig 1a). Guards: ancestor, parent, leaf; the
+     successor is never dereferenced so it carries no guard. *)
+  type seek_record = {
+    anc : node Ar.managed;
+    suc : node Ar.managed;
+    par : node Ar.managed;
+    leaf : node Ar.managed;
+    g_anc : S.guard option;
+    g_par : S.guard option;
+    g_leaf : S.guard option;
+  }
+
+  let discard c s =
+    release c s.g_anc;
+    release c s.g_par;
+    release c s.g_leaf
+
+  let deref (m : node Ar.managed) = Ar.get m
+
+  let seek c key =
+    let r = c.t.root in
+    let e_s, g_s = protect c (deref r).left in
+    let s =
+      match e_s.dest with
+      | Some m -> m
+      | None -> failwith "nm_tree: corrupt sentinel"
+    in
+    let anc = ref r and g_anc = ref None in
+    let suc = ref s in
+    let par = ref s and g_par = ref g_s in
+    let e_c, g_c = protect c (deref s).left in
+    let cur =
+      ref (match e_c.dest with Some m -> m | None -> failwith "nm_tree: corrupt sentinel")
+    in
+    let g_cur = ref g_c in
+    let cur_tag = ref e_c.tag in
+    let rec walk () =
+      let n = deref !cur in
+      if not (is_leaf n) then begin
+        if not !cur_tag then begin
+          (* The edge par->cur is untagged: par/cur become the new
+             ancestor/successor. *)
+          release c !g_anc;
+          g_anc := !g_par;
+          anc := !par;
+          suc := !cur;
+          g_par := None
+        end
+        else begin
+          release c !g_par;
+          g_par := None
+        end;
+        g_par := !g_cur;
+        par := !cur;
+        let e, g = protect c (if key < n.key then n.left else n.right) in
+        (match e.dest with
+        | None ->
+            (* Internal nodes always have two children; a null edge
+               means we read a reclaimed node on an unsafe scheme. *)
+            release c g;
+            raise (Simheap.Use_after_free "nm_tree: null child of internal node")
+        | Some m ->
+            cur := m;
+            g_cur := g;
+            cur_tag := e.tag);
+        walk ()
+      end
+    in
+    walk ();
+    {
+      anc = !anc;
+      suc = !suc;
+      par = !par;
+      leaf = !cur;
+      g_anc = !g_anc;
+      g_par = !g_par;
+      g_leaf = !g_cur;
+    }
+
+  (* Excise the flagged chain hanging between ancestor and sibling:
+     tag the sibling edge, swing the ancestor edge, and — this being
+     the manual version — retire the whole chain by hand (Fig 1a). *)
+  let cleanup c key (s : seek_record) =
+    let par = deref s.par in
+    let child_cell, sibling_cell =
+      if key < par.key then (par.left, par.right) else (par.right, par.left)
+    in
+    let e_child = Atomic.get child_cell in
+    let sibling_cell = if e_child.flag then sibling_cell else child_cell in
+    let rec tag_sibling () =
+      let es = Atomic.get sibling_cell in
+      if not es.tag then
+        if not (Atomic.compare_and_set sibling_cell es { es with tag = true }) then
+          tag_sibling ()
+    in
+    tag_sibling ();
+    let es = Atomic.get sibling_cell in
+    let anc = deref s.anc in
+    let acell = if key < anc.key then anc.left else anc.right in
+    let ok =
+      edge_cas acell
+        { dest = Some s.suc; flag = false; tag = false }
+        { dest = es.dest; flag = es.flag; tag = false }
+    in
+    if ok then begin
+      (* We won the excision: retire the successor..parent chain plus
+         the flagged leaves hanging off it. Exactly the loop the paper
+         shows is easy to get wrong (Fig 1a); reference counting makes
+         it disappear (see Nm_tree_rc). *)
+      let stop = es.dest in
+      let rec retire_chain (n : node Ar.managed) =
+        let at_stop = match stop with Some sib -> n == sib | None -> false in
+        if not at_stop then begin
+          let node = deref n in
+          let el = Atomic.get node.left in
+          let er = Atomic.get node.right in
+          let excised, next = if el.flag then (el.dest, er.dest) else (er.dest, el.dest) in
+          (match excised with
+          | Some fm -> Ar.retire_free c.t.ar ~pid:c.pid fm
+          | None -> ());
+          Ar.retire_free c.t.ar ~pid:c.pid n;
+          match next with Some m -> retire_chain m | None -> ()
+        end
+      in
+      retire_chain s.suc;
+      run_ejects c
+    end;
+    ok
+
+  let insert_op c key =
+    let rec go () =
+      let s = seek c key in
+      let leaf = deref s.leaf in
+      if leaf.key = key then begin
+        discard c s;
+        false
+      end
+      else begin
+        let par = deref s.par in
+        let cell = if key < par.key then par.left else par.right in
+        let new_leaf = mk_leaf c.t.ar ~pid:c.pid key in
+        let ikey = max key leaf.key in
+        let l, r = if key < leaf.key then (new_leaf, s.leaf) else (s.leaf, new_leaf) in
+        let new_internal = mk_internal c.t.ar ~pid:c.pid ikey l r in
+        if edge_cas cell (clean s.leaf) (clean new_internal) then begin
+          discard c s;
+          true
+        end
+        else begin
+          (* Unpublished nodes: reclaim directly. *)
+          Simheap.free new_leaf.Ar.block;
+          Simheap.free new_internal.Ar.block;
+          (* Help the delete that beat us, if any. *)
+          let e = Atomic.get cell in
+          (match e.dest with
+          | Some m when m == s.leaf && (e.flag || e.tag) -> ignore (cleanup c key s)
+          | _ -> ());
+          discard c s;
+          go ()
+        end
+      end
+    in
+    go ()
+
+  let remove_op c key =
+    let rec cleanup_loop victim =
+      let s = seek c key in
+      if s.leaf != victim then begin
+        (* Someone else finished removing our victim. *)
+        discard c s;
+        true
+      end
+      else begin
+        let ok = cleanup c key s in
+        discard c s;
+        if ok then true else cleanup_loop victim
+      end
+    in
+    let rec inject () =
+      let s = seek c key in
+      if (deref s.leaf).key <> key then begin
+        discard c s;
+        false
+      end
+      else begin
+        let par = deref s.par in
+        let cell = if key < par.key then par.left else par.right in
+        if edge_cas cell (clean s.leaf) { dest = Some s.leaf; flag = true; tag = false }
+        then begin
+          let victim = s.leaf in
+          let ok = cleanup c key s in
+          discard c s;
+          if ok then true else cleanup_loop victim
+        end
+        else begin
+          let e = Atomic.get cell in
+          (match e.dest with
+          | Some m when m == s.leaf && (e.flag || e.tag) -> ignore (cleanup c key s)
+          | _ -> ());
+          discard c s;
+          inject ()
+        end
+      end
+    in
+    inject ()
+
+  (* Read-only descent: protects parent and current only. *)
+  let contains_op c key =
+    let r = c.t.root in
+    let e_s, g_s = protect c (deref r).left in
+    let par_g = ref g_s in
+    let cur =
+      ref (match e_s.dest with Some m -> m | None -> failwith "nm_tree: corrupt sentinel")
+    in
+    let g_cur = ref None in
+    (* Swap: initial cur is S, protected by g_s. *)
+    g_cur := !par_g;
+    par_g := None;
+    let rec walk () =
+      let n = deref !cur in
+      if is_leaf n then begin
+        let res = n.key = key in
+        release c !g_cur;
+        release c !par_g;
+        res
+      end
+      else begin
+        let e, g = protect c (if key < n.key then n.left else n.right) in
+        match e.dest with
+        | None ->
+            release c g;
+            release c !g_cur;
+            release c !par_g;
+            raise (Simheap.Use_after_free "nm_tree: null child of internal node")
+        | Some m ->
+            release c !par_g;
+            par_g := !g_cur;
+            cur := m;
+            g_cur := g;
+            walk ()
+      end
+    in
+    walk ()
+
+  (* Sequential range count over [lo, hi): DFS holding one guard per
+     path node (paper Fig 11's workload). *)
+  let range_op c lo hi =
+    let count = ref 0 in
+    let rec dfs (m : node Ar.managed) =
+      let n = deref m in
+      if is_leaf n then begin
+        if n.key >= lo && n.key < hi && n.key < inf1 then incr count
+      end
+      else begin
+        if lo < n.key then begin
+          let e, g = protect c n.left in
+          (match e.dest with Some child -> dfs child | None -> ());
+          release c g
+        end;
+        if hi > n.key then begin
+          let e, g = protect c n.right in
+          (match e.dest with Some child -> dfs child | None -> ());
+          release c g
+        end
+      end
+    in
+    let e, g = protect c (deref c.t.root).left in
+    (match e.dest with Some s -> dfs s | None -> ());
+    release c g;
+    !count
+
+  (* ------------------ Set_intf.S wrapper ---------------------------- *)
+
+  (* Operations run inside a critical section; Use_after_free (possible
+     under the unsafe schemes, see header) is caught, guards are
+     released, the event is counted, and the operation restarts. *)
+  let guarded c f =
+    let rec attempt () =
+      Ar.begin_critical_section c.t.ar ~pid:c.pid;
+      match f () with
+      | v ->
+          Ar.end_critical_section c.t.ar ~pid:c.pid;
+          v
+      | exception Simheap.Use_after_free _ ->
+          release_all c;
+          Ar.end_critical_section c.t.ar ~pid:c.pid;
+          ignore (Atomic.fetch_and_add c.t.uaf 1);
+          attempt ()
+      | exception e ->
+          release_all c;
+          Ar.end_critical_section c.t.ar ~pid:c.pid;
+          raise e
+    in
+    attempt ()
+
+  let insert c key = guarded c (fun () -> insert_op c key)
+  let remove c key = guarded c (fun () -> remove_op c key)
+  let contains c key = guarded c (fun () -> contains_op c key)
+  let range_query c lo hi = guarded c (fun () -> range_op c lo hi)
+  let flush c = Ar.drain c.t.ar ~pid:c.pid
+
+  let size t =
+    let rec go (m : node Ar.managed) =
+      let n = m.Ar.value in
+      if is_leaf n then if n.key < inf1 then 1 else 0
+      else
+        let l = (Atomic.get n.left).dest and r = (Atomic.get n.right).dest in
+        (match l with Some x -> go x | None -> 0)
+        + (match r with Some x -> go x | None -> 0)
+    in
+    go t.root
+
+  let live_objects t = Simheap.live (Ar.heap t.ar)
+  let peak_objects t = Simheap.peak (Ar.heap t.ar)
+  let reset_peak t = Simheap.reset_peak (Ar.heap t.ar)
+
+  let teardown t =
+    let rec free_rec (m : node Ar.managed) =
+      let n = m.Ar.value in
+      (match (Atomic.get n.left).dest with Some x -> free_rec x | None -> ());
+      (match (Atomic.get n.right).dest with Some x -> free_rec x | None -> ());
+      if Simheap.is_live m.Ar.block then Simheap.free m.Ar.block
+    in
+    free_rec t.root;
+    Ar.quiesce t.ar
+  let snapshot_stats _ = None
+
+end

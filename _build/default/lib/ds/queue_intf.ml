@@ -1,0 +1,27 @@
+(** Common interface of the doubly-linked queue implementations used
+    in the paper's weak-pointer evaluation (Fig 12):
+
+    - {!Dl_queue_rc}: our atomic weak pointers (paper Fig 10),
+    - {!Dl_queue_manual}: Ramalhete–Correia's original custom manual
+      scheme ("Original" in Fig 12),
+    - {!Dl_queue_locked}: a lock-based atomic shared/weak pointer
+      implementation standing in for the closed-source just::thread
+      library (DESIGN.md S3). *)
+
+module type S = sig
+  val name : string
+
+  type t
+  type ctx
+
+  val create : max_threads:int -> unit -> t
+  val ctx : t -> int -> ctx
+  val enqueue : ctx -> int -> unit
+
+  val dequeue : ctx -> int option
+  (** [None] when the queue is empty. *)
+
+  val flush : ctx -> unit
+  val live_objects : t -> int
+  val teardown : t -> unit
+end

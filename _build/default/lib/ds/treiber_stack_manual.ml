@@ -1,0 +1,115 @@
+(** Treiber's lock-free stack under manual SMR — not one of the
+    paper's benchmark structures, but the canonical smallest consumer
+    of safe memory reclamation; included to show the scheme interface
+    generalizes beyond the paper's three structures and as the simplest
+    worked example of the announce/confirm protocol.
+
+    The pop path is the classic read-reclaim race: read [top], read
+    [top.next], CAS — between the reads another popper may free the old
+    top. The protect/confirm step closes it for every scheme. *)
+
+module Make (S : Smr.Smr_intf.S) = struct
+  module Ar = Acquire_retire.Make (S)
+  module Ident = Smr.Ident
+
+  let name = S.name
+
+  type node = { value : int; next : node Ar.managed option }
+
+  type t = { ar : Ar.t; top : node Ar.managed option Atomic.t }
+  type ctx = { t : t; pid : int }
+
+  let create ?slots_per_thread ?epoch_freq ~max_threads () =
+    { ar = Ar.create ?slots_per_thread ?epoch_freq ~max_threads (); top = Atomic.make None }
+
+  let ctx t pid = { t; pid }
+  let ident_of = function None -> Ident.null | Some m -> Ident.of_val m
+
+  let rec link_cas cell expected desired =
+    let cur = Atomic.get cell in
+    let eq =
+      match (cur, expected) with
+      | None, None -> true
+      | Some a, Some b -> a == b
+      | _ -> false
+    in
+    if not eq then false
+    else if Atomic.compare_and_set cell cur desired then true
+    else link_cas cell expected desired
+
+  let push c v =
+    Ar.begin_critical_section c.t.ar ~pid:c.pid;
+    let rec go () =
+      let top = Atomic.get c.t.top in
+      let m = Ar.alloc c.t.ar ~pid:c.pid { value = v; next = top } in
+      if not (link_cas c.t.top top (Some m)) then begin
+        Simheap.free m.Ar.block;
+        go ()
+      end
+    in
+    go ();
+    Ar.end_critical_section c.t.ar ~pid:c.pid
+
+  let pop c =
+    Ar.begin_critical_section c.t.ar ~pid:c.pid;
+    let smr = Ar.smr c.t.ar in
+    let rec go () =
+      let v0 = Atomic.get c.t.top in
+      match S.try_acquire smr ~pid:c.pid (ident_of v0) with
+      | None -> failwith "treiber_stack: out of announcement slots"
+      | Some g ->
+          let rec settle () =
+            let v = Atomic.get c.t.top in
+            if S.confirm smr ~pid:c.pid g (ident_of v) then v else settle ()
+          in
+          let top = settle () in
+          let result =
+            match top with
+            | None ->
+                S.release smr ~pid:c.pid g;
+                None
+            | Some m ->
+                let node = Ar.get m in
+                if link_cas c.t.top top node.next then begin
+                  S.release smr ~pid:c.pid g;
+                  Ar.retire_free c.t.ar ~pid:c.pid m;
+                  (match Ar.eject c.t.ar ~pid:c.pid with
+                  | [] -> ()
+                  | ops -> List.iter (fun op -> op c.pid) ops);
+                  Some node.value
+                end
+                else begin
+                  S.release smr ~pid:c.pid g;
+                  go ()
+                end
+          in
+          result
+    in
+    let r = go () in
+    Ar.end_critical_section c.t.ar ~pid:c.pid;
+    r
+
+  let flush c = Ar.drain c.t.ar ~pid:c.pid
+
+  (* Quiescent helpers *)
+  let size t =
+    let rec go acc = function
+      | None -> acc
+      | Some (m : node Ar.managed) -> go (acc + 1) m.Ar.value.next
+    in
+    go 0 (Atomic.get t.top)
+
+  let live_objects t = Simheap.live (Ar.heap t.ar)
+
+  let teardown t =
+    let rec go = function
+      | None -> ()
+      | Some (m : node Ar.managed) ->
+          let next = m.Ar.value.next in
+          if Simheap.is_live m.Ar.block then Simheap.free m.Ar.block;
+          go next
+    in
+    go (Atomic.get t.top);
+    Atomic.set t.top None;
+    Ar.quiesce t.ar
+end

@@ -1,0 +1,96 @@
+(** Treiber's stack under automatic reference counting — compare with
+    {!Treiber_stack_manual}: the pop path has no retire, no eject, and
+    no reclamation bookkeeping at all; the unlinking CAS defers the
+    decrement and the node chain unwinds through destroy hooks. *)
+
+module Make (R : Cdrc.Intf.S) = struct
+  let name = R.scheme_name
+
+  type node = { value : int; next : node R.asp }
+
+  type t = { rt : R.rt; top : node R.asp }
+  type ctx = { t : t; th : R.thr }
+
+  let create ?slots_per_thread ?epoch_freq ~max_threads () =
+    {
+      rt = R.create ~support_weak:false ?slots_per_thread ?epoch_freq ~max_threads ();
+      top = R.Asp.make_null ();
+    }
+
+  let ctx t pid = { t; th = R.thread t.rt pid }
+
+  let push c v =
+    let th = c.th in
+    R.critically th @@ fun () ->
+    let rec go () =
+      let top = R.Asp.get_snapshot th c.t.top in
+      let fresh =
+        R.Shared.make th
+          ~destroy:(fun th n -> R.Asp.clear th n.next)
+          { value = v; next = R.Asp.make th (R.Snapshot.ptr top ~tag:0) }
+      in
+      let ok =
+        R.Asp.compare_and_swap th c.t.top ~expected:(R.Snapshot.ptr top ~tag:0)
+          ~desired:(R.Shared.ptr fresh)
+      in
+      R.Shared.drop th fresh;
+      R.Snapshot.drop th top;
+      if not ok then go ()
+    in
+    go ()
+
+  let pop c =
+    let th = c.th in
+    R.critically th @@ fun () ->
+    let rec go () =
+      let top = R.Asp.get_snapshot th c.t.top in
+      if R.Snapshot.is_null top then begin
+        R.Snapshot.drop th top;
+        None
+      end
+      else begin
+        let node = R.Snapshot.get top in
+        let next = R.Asp.get_snapshot th node.next in
+        let ok =
+          R.Asp.compare_and_swap th c.t.top ~expected:(R.Snapshot.ptr top ~tag:0)
+            ~desired:(R.Snapshot.ptr next ~tag:0)
+        in
+        R.Snapshot.drop th next;
+        if ok then begin
+          let v = node.value in
+          R.Snapshot.drop th top;
+          Some v
+        end
+        else begin
+          R.Snapshot.drop th top;
+          go ()
+        end
+      end
+    in
+    go ()
+
+  let flush c = R.flush c.th
+
+  let size t =
+    let th = R.thread t.rt 0 in
+    R.critically th (fun () ->
+        let rec go acc snap =
+          if R.Snapshot.is_null snap then begin
+            R.Snapshot.drop th snap;
+            acc
+          end
+          else begin
+            let next = R.Asp.get_snapshot th (R.Snapshot.get snap).next in
+            R.Snapshot.drop th snap;
+            go (acc + 1) next
+          end
+        in
+        go 0 (R.Asp.get_snapshot th t.top))
+
+  let live_objects t = R.live_objects t.rt
+
+  let teardown t =
+    let th = R.thread t.rt 0 in
+    R.Asp.clear th t.top;
+    R.quiesce t.rt
+end

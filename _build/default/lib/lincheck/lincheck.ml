@@ -1,0 +1,81 @@
+type ('op, 'res) event = { thread : int; op : 'op; res : 'res; inv : int; ret : int }
+
+module Recorder = struct
+  type ('op, 'res) t = {
+    clock : int Atomic.t;
+    events : ('op, 'res) event list Atomic.t; (* Treiber-style push list *)
+  }
+
+  let create () = { clock = Atomic.make 0; events = Atomic.make [] }
+
+  let rec push t e =
+    let cur = Atomic.get t.events in
+    if not (Atomic.compare_and_set t.events cur (e :: cur)) then push t e
+
+  let run t ~thread op f =
+    let inv = Atomic.fetch_and_add t.clock 1 in
+    let res = f () in
+    let ret = Atomic.fetch_and_add t.clock 1 in
+    push t { thread; op; res; inv; ret };
+    res
+
+  let history t = Atomic.get t.events
+end
+
+(* Exhaustive search for a valid linearization. At each step the
+   candidates are the pending events not preceded (in real time) by
+   another pending event; [e1 precedes e2] iff [e1.ret < e2.inv]. *)
+let check ~model ~equal_res ~init history =
+  let arr = Array.of_list history in
+  let n = Array.length arr in
+  let done_ = Array.make n false in
+  let rec go remaining state =
+    remaining = 0
+    || begin
+         (* minimal pending events w.r.t. real-time precedence *)
+         let is_candidate i =
+           (not done_.(i))
+           && begin
+                let ok = ref true in
+                for j = 0 to n - 1 do
+                  if (not done_.(j)) && j <> i && arr.(j).ret < arr.(i).inv then ok := false
+                done;
+                !ok
+              end
+         in
+         let rec try_candidates i =
+           if i >= n then false
+           else if is_candidate i then begin
+             let e = arr.(i) in
+             let state', expected = model state e.op in
+             if equal_res expected e.res then begin
+               done_.(i) <- true;
+               if go (remaining - 1) state' then true
+               else begin
+                 done_.(i) <- false;
+                 try_candidates (i + 1)
+               end
+             end
+             else try_candidates (i + 1)
+           end
+           else try_candidates (i + 1)
+         in
+         try_candidates 0
+       end
+  in
+  go n init
+
+let check_or_explain ~model ~equal_res ~pp_op ~pp_res ~init history =
+  if check ~model ~equal_res ~init history then Ok ()
+  else begin
+    let buf = Buffer.create 256 in
+    let ppf = Format.formatter_of_buffer buf in
+    Format.fprintf ppf "non-linearizable history:@.";
+    List.iter
+      (fun e ->
+        Format.fprintf ppf "  [t%d %3d-%3d] %a -> %a@." e.thread e.inv e.ret pp_op e.op
+          pp_res e.res)
+      (List.sort (fun a b -> compare a.inv b.inv) history);
+    Format.pp_print_flush ppf ();
+    Error (Buffer.contents buf)
+  end

@@ -1,0 +1,57 @@
+(** A small linearizability checker (Wing & Gong style exhaustive
+    search) used by the test suite to validate the concurrent data
+    structures against their sequential specifications.
+
+    Worker threads record each completed operation with invocation and
+    response timestamps drawn from a shared logical clock
+    ({!Recorder}). {!check} then searches for a permutation of the
+    history that (a) respects real-time order — an operation that
+    responded before another was invoked must linearize first — and
+    (b) replays correctly against a sequential [model].
+
+    The search is exponential in the worst case; keep recorded
+    histories small (a few threads × a few operations), which is ample
+    to catch ordering bugs: a non-linearizable implementation fails
+    quickly on short histories. *)
+
+type ('op, 'res) event = {
+  thread : int;
+  op : 'op;
+  res : 'res;
+  inv : int; (* logical invocation time *)
+  ret : int; (* logical response time *)
+}
+
+module Recorder : sig
+  type ('op, 'res) t
+
+  val create : unit -> ('op, 'res) t
+
+  val run : ('op, 'res) t -> thread:int -> 'op -> (unit -> 'res) -> 'res
+  (** [run t ~thread op f] executes [f], recording the operation with
+      invocation/response stamps. Thread-safe. *)
+
+  val history : ('op, 'res) t -> ('op, 'res) event list
+  (** All recorded events (call after workers have joined). *)
+end
+
+val check :
+  model:('state -> 'op -> 'state * 'res) ->
+  equal_res:('res -> 'res -> bool) ->
+  init:'state ->
+  ('op, 'res) event list ->
+  bool
+(** [check ~model ~equal_res ~init history]: is there a linearization
+    of [history] that replays on [model] from [init] with every
+    operation producing its recorded result? *)
+
+val check_or_explain :
+  model:('state -> 'op -> 'state * 'res) ->
+  equal_res:('res -> 'res -> bool) ->
+  pp_op:(Format.formatter -> 'op -> unit) ->
+  pp_res:(Format.formatter -> 'res -> unit) ->
+  init:'state ->
+  ('op, 'res) event list ->
+  (unit, string) result
+(** Like {!check}, but on failure returns a rendering of the offending
+    history for diagnostics. *)

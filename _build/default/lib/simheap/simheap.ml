@@ -1,0 +1,57 @@
+type t = {
+  name : string;
+  allocated_n : int Atomic.t;
+  freed_n : int Atomic.t;
+  live_n : int Atomic.t;
+  peak_n : int Atomic.t;
+  next_uid : int Atomic.t;
+}
+
+type block = { heap : t; uid : int; freed : bool Atomic.t }
+
+exception Use_after_free of string
+exception Double_free of string
+
+let create ?(name = "heap") () =
+  {
+    name;
+    allocated_n = Atomic.make 0;
+    freed_n = Atomic.make 0;
+    live_n = Atomic.make 0;
+    peak_n = Atomic.make 0;
+    next_uid = Atomic.make 0;
+  }
+
+let name t = t.name
+
+let rec bump_peak t live =
+  let peak = Atomic.get t.peak_n in
+  if live > peak && not (Atomic.compare_and_set t.peak_n peak live) then bump_peak t live
+
+let alloc t =
+  ignore (Atomic.fetch_and_add t.allocated_n 1);
+  let live = Atomic.fetch_and_add t.live_n 1 + 1 in
+  bump_peak t live;
+  { heap = t; uid = Atomic.fetch_and_add t.next_uid 1; freed = Atomic.make false }
+
+let free b =
+  if Atomic.exchange b.freed true then
+    raise (Double_free (Printf.sprintf "%s: block %d freed twice" b.heap.name b.uid));
+  ignore (Atomic.fetch_and_add b.heap.freed_n 1);
+  ignore (Atomic.fetch_and_add b.heap.live_n (-1))
+
+let check_live b =
+  if Atomic.get b.freed then
+    raise (Use_after_free (Printf.sprintf "%s: block %d used after free" b.heap.name b.uid))
+
+let is_live b = not (Atomic.get b.freed)
+let uid b = b.uid
+let live t = Atomic.get t.live_n
+let peak t = Atomic.get t.peak_n
+let allocated t = Atomic.get t.allocated_n
+let freed t = Atomic.get t.freed_n
+let reset_peak t = Atomic.set t.peak_n (Atomic.get t.live_n)
+
+let pp_stats ppf t =
+  Format.fprintf ppf "live=%d peak=%d allocated=%d freed=%d" (live t) (peak t) (allocated t)
+    (freed t)

@@ -1,0 +1,78 @@
+(** Simulated manual heap with reclamation accounting and
+    use-after-free detection.
+
+    OCaml is garbage-collected, so this reproduction cannot literally
+    [free] memory. Instead, every object managed by an SMR scheme or a
+    reference-counting control block embeds a {!block} token obtained
+    from {!alloc}. "Freeing" the object calls {!free} on its token,
+    which:
+
+    - counts the reclamation (live/peak statistics drive the paper's
+      memory-usage figures), and
+    - poisons the token, so that any later {!check_live} — which the
+      data-structure code performs on every dereference — raises
+      {!Use_after_free}.
+
+    This preserves exactly the property safe memory reclamation exists
+    to provide: {e no thread dereferences an object after it has been
+    reclaimed}. A buggy SMR scheme here crashes the stress tests instead
+    of silently corrupting memory, which is strictly better for a
+    reproduction.
+
+    All operations are thread-safe and lock-free. *)
+
+type t
+(** A simulated heap (one per benchmark run, usually). *)
+
+type block
+(** An allocation token. Embed it in the managed object. *)
+
+exception Use_after_free of string
+(** Raised by {!check_live} on a freed block: an SMR safety violation. *)
+
+exception Double_free of string
+(** Raised by {!free} on an already-freed block. *)
+
+val create : ?name:string -> unit -> t
+(** [create ?name ()] makes an empty heap. [name] appears in exception
+    messages and reports (default ["heap"]). *)
+
+val name : t -> string
+
+val alloc : t -> block
+(** Allocate a block: increments the live count and updates the peak. *)
+
+val free : block -> unit
+(** Reclaim a block.
+    @raise Double_free if the block was already freed. *)
+
+val check_live : block -> unit
+(** Assert the block has not been reclaimed.
+    @raise Use_after_free if it has. *)
+
+val is_live : block -> bool
+(** Non-raising liveness query (used by tests). *)
+
+val uid : block -> int
+(** Unique id of the block within its heap (diagnostics). *)
+
+(** {1 Statistics} *)
+
+val live : t -> int
+(** Blocks currently allocated and not freed. *)
+
+val peak : t -> int
+(** High-water mark of {!live} since creation or {!reset_peak}. *)
+
+val allocated : t -> int
+(** Total blocks ever allocated. *)
+
+val freed : t -> int
+(** Total blocks ever freed. *)
+
+val reset_peak : t -> unit
+(** Reset the peak to the current live count (called between benchmark
+    phases so warm-up doesn't pollute measurements). *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** Render ["live=… peak=… allocated=… freed=…"]. *)

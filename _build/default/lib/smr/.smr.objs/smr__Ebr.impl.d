@@ -1,0 +1,1 @@
+lib/smr/ebr.ml: Array Atomic Repro_util Retire_queue

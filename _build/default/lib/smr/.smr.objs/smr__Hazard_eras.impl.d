@@ -1,0 +1,1 @@
+lib/smr/hazard_eras.ml: Array Atomic Fun List Repro_util Retire_queue

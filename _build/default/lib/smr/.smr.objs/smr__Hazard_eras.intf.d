@@ -1,0 +1,1 @@
+lib/smr/hazard_eras.mli: Smr_intf

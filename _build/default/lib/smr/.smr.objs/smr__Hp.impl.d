@@ -1,0 +1,1 @@
+lib/smr/hp.ml: Array Fun Ident List Repro_util Retire_queue

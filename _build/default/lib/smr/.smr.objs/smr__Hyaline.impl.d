@@ -1,0 +1,1 @@
+lib/smr/hyaline.ml: Atomic Deferred Domain List Repro_util

@@ -1,0 +1,1 @@
+lib/smr/ibr.ml: Array Atomic Repro_util Retire_queue

@@ -1,0 +1,1 @@
+lib/smr/ident.mli:

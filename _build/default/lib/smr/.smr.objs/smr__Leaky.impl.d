@@ -1,0 +1,1 @@
+lib/smr/leaky.ml: Array Retire_queue

@@ -1,0 +1,1 @@
+lib/smr/leaky.mli: Smr_intf

@@ -1,0 +1,1 @@
+lib/smr/ptb.ml: Array Atomic Deferred Fun Ident List Repro_util Retire_queue

@@ -1,0 +1,1 @@
+lib/smr/ptb.mli: Smr_intf

@@ -1,0 +1,1 @@
+lib/smr/retire_queue.ml: Deferred List Queue

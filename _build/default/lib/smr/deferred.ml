@@ -1,0 +1,11 @@
+(** The type of deferred operations recorded by [retire].
+
+    A deferred operation receives the pid of the {e executing} thread,
+    which may differ from the retiring thread: Hyaline ejects from a
+    global pool, so whoever drains it runs the closure. Automatic
+    reference counting uses the pid to route cascading decrements into
+    the executing thread's pending queue. *)
+
+type t = int -> unit
+
+let run (op : t) ~pid = op pid

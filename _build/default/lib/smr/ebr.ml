@@ -1,0 +1,69 @@
+module Padded = Repro_util.Padded
+
+let name = "EBR"
+let is_protected_region = true
+let confirm_is_trivial = true
+let requires_validation = false
+let empty_ann = max_int
+
+type guard = int
+
+type t = {
+  max_threads : int;
+  epoch_freq : int;
+  cleanup_freq : int;
+  ann : int Padded.t;
+  cur_epoch : int Atomic.t;
+  alloc_tally : int Padded.t; (* owner-thread only; padded for locality *)
+  retired : int Retire_queue.t array; (* meta = retire epoch *)
+}
+
+let create ?(epoch_freq = 10) ?(cleanup_freq = 64) ?slots_per_thread:_ ~max_threads () =
+  {
+    max_threads;
+    epoch_freq;
+    cleanup_freq;
+    ann = Padded.create max_threads empty_ann;
+    cur_epoch = Atomic.make 0;
+    alloc_tally = Padded.create max_threads 0;
+    retired = Array.init max_threads (fun _ -> Retire_queue.create ());
+  }
+
+let max_threads t = t.max_threads
+let current_epoch t = Atomic.get t.cur_epoch
+let advance_epoch t = ignore (Atomic.fetch_and_add t.cur_epoch 1)
+
+let begin_critical_section t ~pid =
+  (* Announcing a possibly stale epoch is conservative-safe: it only
+     makes this section look older to the ejector. *)
+  Padded.set t.ann pid (Atomic.get t.cur_epoch)
+
+let end_critical_section t ~pid = Padded.set t.ann pid empty_ann
+
+let alloc_hook t ~pid =
+  let tally = Padded.get t.alloc_tally pid + 1 in
+  Padded.set t.alloc_tally pid tally;
+  if tally mod t.epoch_freq = 0 then advance_epoch t;
+  0
+
+let try_acquire _t ~pid:_ _id = Some 0
+let acquire _t ~pid:_ _id = 0
+let confirm _t ~pid:_ _g _id = true
+let release _t ~pid:_ _g = ()
+
+let min_announced t = Padded.fold min max_int t.ann
+
+let retire t ~pid _id ~birth:_ op = Retire_queue.push t.retired.(pid) (Atomic.get t.cur_epoch) op
+
+let eject ?(force = false) t ~pid =
+  let q = t.retired.(pid) in
+  if force || Retire_queue.due q ~every:t.cleanup_freq then begin
+    let min_ann = min_announced t in
+    (* Retire epochs are monotone within a thread's queue. *)
+    Retire_queue.pop_prefix q ~safe:(fun e -> e < min_ann)
+  end
+  else []
+
+let retired_count t ~pid = Retire_queue.size t.retired.(pid)
+
+let drain_all t = Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired

@@ -1,0 +1,21 @@
+(** Epoch-based reclamation (Fraser 2004; paper Fig 3).
+
+    A protected-{e region} scheme: each thread announces the global
+    epoch on entering a critical section and un-announces on leaving.
+    An entry retired at epoch [e] is safe once every announced epoch is
+    strictly greater than [e] — every critical section active at the
+    retirement has then finished. Following the paper's tuning (§5.1),
+    the global epoch advances once per [epoch_freq] allocations
+    (default 10) rather than by epoch consensus.
+
+    [try_acquire]/[confirm] degenerate to no-ops: the critical section
+    itself protects every pointer read inside it, which is why EBR
+    reads cost a single load. *)
+
+include Smr_intf.S
+
+val current_epoch : t -> int
+(** The global epoch (diagnostics / tests). *)
+
+val advance_epoch : t -> unit
+(** Force a global epoch advance (tests and teardown helpers). *)

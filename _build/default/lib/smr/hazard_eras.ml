@@ -1,0 +1,99 @@
+module Padded = Repro_util.Padded
+
+let name = "HE"
+let is_protected_region = false
+let confirm_is_trivial = false
+let requires_validation = true
+
+type guard = int
+
+let empty_era = -1
+
+type t = {
+  max_threads : int;
+  k : int;
+  epoch_freq : int;
+  cleanup_freq : int;
+  era : int Atomic.t;
+  slots : int Padded.t; (* announced eras, (k+1) per thread *)
+  free : int list array; (* owner only *)
+  alloc_tally : int Padded.t;
+  retired : (int * int) Retire_queue.t array; (* (birth era, retire era) *)
+}
+
+let create ?(epoch_freq = 40) ?(cleanup_freq = 64) ?(slots_per_thread = 8) ~max_threads () =
+  let k = slots_per_thread in
+  {
+    max_threads;
+    k;
+    epoch_freq;
+    cleanup_freq = max cleanup_freq (2 * (k + 1) * max_threads);
+    era = Atomic.make 0;
+    slots = Padded.create ((k + 1) * max_threads) empty_era;
+    free = Array.init max_threads (fun _ -> List.init k Fun.id);
+    alloc_tally = Padded.create max_threads 0;
+    retired = Array.init max_threads (fun _ -> Retire_queue.create ());
+  }
+
+let max_threads t = t.max_threads
+let current_era t = Atomic.get t.era
+let advance_era t = ignore (Atomic.fetch_and_add t.era 1)
+let slot_index t ~pid local = (pid * (t.k + 1)) + local
+let begin_critical_section _t ~pid:_ = ()
+let end_critical_section _t ~pid:_ = ()
+
+let alloc_hook t ~pid =
+  let tally = Padded.get t.alloc_tally pid + 1 in
+  Padded.set t.alloc_tally pid tally;
+  if tally mod t.epoch_freq = 0 then advance_era t;
+  Atomic.get t.era
+
+let try_acquire t ~pid _id =
+  match t.free.(pid) with
+  | [] -> None
+  | s :: rest ->
+      t.free.(pid) <- rest;
+      Padded.set t.slots (slot_index t ~pid s) (Atomic.get t.era);
+      Some s
+
+let acquire t ~pid _id =
+  Padded.set t.slots (slot_index t ~pid t.k) (Atomic.get t.era);
+  t.k
+
+let confirm t ~pid g _id =
+  (* The protected read happened after the slot announced some era [a];
+     if the global era still equals [a], the read object was born no
+     later than [a] and cannot be retired earlier, so the announcement
+     covers it. Otherwise re-announce the fresh era and re-read. *)
+  let idx = slot_index t ~pid g in
+  let announced = Padded.get t.slots idx in
+  let cur = Atomic.get t.era in
+  if announced = cur then true
+  else begin
+    Padded.set t.slots idx cur;
+    false
+  end
+
+let release t ~pid g =
+  Padded.set t.slots (slot_index t ~pid g) empty_era;
+  if g < t.k then t.free.(pid) <- g :: t.free.(pid)
+
+let retire t ~pid _id ~birth op = Retire_queue.push t.retired.(pid) (birth, Atomic.get t.era) op
+
+let eject ?(force = false) t ~pid =
+  let q = t.retired.(pid) in
+  if force || Retire_queue.due q ~every:t.cleanup_freq then begin
+    let eras = ref [] in
+    let total = (t.k + 1) * t.max_threads in
+    for i = 0 to total - 1 do
+      let e = Padded.get t.slots i in
+      if e <> empty_era then eras := e :: !eras
+    done;
+    let eras = !eras in
+    Retire_queue.filter_pop q ~safe:(fun (birth, retired_at) ->
+        not (List.exists (fun e -> birth <= e && e <= retired_at) eras))
+  end
+  else []
+
+let retired_count t ~pid = Retire_queue.size t.retired.(pid)
+let drain_all t = Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired

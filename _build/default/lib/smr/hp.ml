@@ -1,0 +1,89 @@
+module Padded = Repro_util.Padded
+
+let name = "HP"
+let is_protected_region = false
+let confirm_is_trivial = false
+let requires_validation = true
+
+type guard = int
+(* A guard is the thread-local slot index: 0..k-1 from the free pool,
+   k for the reserved slot. *)
+
+type t = {
+  max_threads : int;
+  k : int; (* non-reserved slots per thread *)
+  cleanup_freq : int;
+  slots : Ident.t Padded.t; (* (k+1) * max_threads announcement slots *)
+  free : int list array; (* per-thread free local slot indices; owner only *)
+  retired : Ident.t Retire_queue.t array;
+}
+
+let create ?epoch_freq:_ ?(cleanup_freq = 64) ?(slots_per_thread = 8) ~max_threads () =
+  let k = slots_per_thread in
+  {
+    max_threads;
+    k;
+    cleanup_freq = max cleanup_freq (2 * (k + 1) * max_threads);
+    slots = Padded.create ((k + 1) * max_threads) Ident.null;
+    free = Array.init max_threads (fun _ -> List.init k Fun.id);
+    retired = Array.init max_threads (fun _ -> Retire_queue.create ());
+  }
+
+let max_threads t = t.max_threads
+let slots_per_thread t = t.k
+let slot_index t ~pid local = (pid * (t.k + 1)) + local
+let begin_critical_section _t ~pid:_ = ()
+let end_critical_section _t ~pid:_ = ()
+let alloc_hook _t ~pid:_ = 0
+
+let try_acquire t ~pid id =
+  match t.free.(pid) with
+  | [] -> None
+  | s :: rest ->
+      t.free.(pid) <- rest;
+      (* Atomic.set is seq_cst: the announcement is globally visible
+         before the caller's revalidating re-read. *)
+      Padded.set t.slots (slot_index t ~pid s) id;
+      Some s
+
+let acquire t ~pid id =
+  Padded.set t.slots (slot_index t ~pid t.k) id;
+  t.k
+
+let confirm t ~pid g id =
+  let idx = slot_index t ~pid g in
+  if Ident.equal (Padded.get t.slots idx) id then true
+  else begin
+    Padded.set t.slots idx id;
+    false
+  end
+
+let release t ~pid g =
+  Padded.set t.slots (slot_index t ~pid g) Ident.null;
+  if g < t.k then t.free.(pid) <- g :: t.free.(pid)
+
+let announced_count t =
+  Padded.fold (fun acc id -> if Ident.is_null id then acc else acc + 1) 0 t.slots
+
+let retire t ~pid id ~birth:_ op = Retire_queue.push t.retired.(pid) id op
+
+let eject ?(force = false) t ~pid =
+  let q = t.retired.(pid) in
+  if force || Retire_queue.due q ~every:t.cleanup_freq then begin
+    (* Snapshot every announcement; entries are held back while their
+       identity appears anywhere. The announcement count is small
+       (P*(k+1)), so a linear membership test beats hashing — identity
+       tokens cannot be hashed stably under a moving GC. *)
+    let announced = ref [] in
+    let total = (t.k + 1) * t.max_threads in
+    for i = 0 to total - 1 do
+      let id = Padded.get t.slots i in
+      if not (Ident.is_null id) then announced := id :: !announced
+    done;
+    let announced = !announced in
+    Retire_queue.filter_pop q ~safe:(fun id -> not (List.exists (Ident.equal id) announced))
+  end
+  else []
+
+let retired_count t ~pid = Retire_queue.size t.retired.(pid)
+let drain_all t = Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired

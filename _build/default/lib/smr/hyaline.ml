@@ -1,0 +1,106 @@
+module Padded = Repro_util.Padded
+
+let name = "Hyaline"
+let is_protected_region = true
+let confirm_is_trivial = true
+let requires_validation = false
+
+type guard = int
+
+type rnode = Nil | Node of { refs : int Atomic.t; op : Deferred.t; next : rnode }
+type hstate = { active : int; head : rnode }
+
+type t = {
+  max_threads : int;
+  state : hstate Atomic.t;
+  snapshot : rnode Padded.t; (* head observed at each thread's enter *)
+  safe : (Deferred.t) list Atomic.t; (* entries whose stamp reached zero *)
+  pending : int Atomic.t; (* retired - ejected, diagnostics *)
+}
+
+let create ?epoch_freq:_ ?cleanup_freq:_ ?slots_per_thread:_ ~max_threads () =
+  {
+    max_threads;
+    state = Atomic.make { active = 0; head = Nil };
+    snapshot = Padded.create max_threads Nil;
+    safe = Atomic.make [];
+    pending = Atomic.make 0;
+  }
+
+let max_threads t = t.max_threads
+let active_count t = (Atomic.get t.state).active
+
+let rec push_safe t op =
+  let cur = Atomic.get t.safe in
+  if not (Atomic.compare_and_set t.safe cur (op :: cur)) then push_safe t op
+
+let rec begin_critical_section t ~pid =
+  let s = Atomic.get t.state in
+  if Atomic.compare_and_set t.state s { s with active = s.active + 1 } then
+    Padded.set t.snapshot pid s.head
+  else begin
+    Domain.cpu_relax ();
+    begin_critical_section t ~pid
+  end
+
+(* Decrement the stamp of every entry retired during our operation:
+   the list segment from [upto] (the head when we left) down to, but
+   excluding, [stop] (the head when we entered). Whoever zeroes a stamp
+   owns the entry. *)
+let rec decrement_segment t upto stop =
+  if upto != stop then
+    match upto with
+    | Nil -> ()
+    | Node n ->
+        if Atomic.fetch_and_add n.refs (-1) = 1 then push_safe t n.op;
+        decrement_segment t n.next stop
+
+let rec end_critical_section t ~pid =
+  let s = Atomic.get t.state in
+  let active' = s.active - 1 in
+  (* The last operation out truncates the global list: every remaining
+     entry's stamp is held only by operations that already left or by
+     us, so nobody else will need to reach it through the state. *)
+  let head' = if active' = 0 then Nil else s.head in
+  if Atomic.compare_and_set t.state s { active = active'; head = head' } then begin
+    decrement_segment t s.head (Padded.get t.snapshot pid);
+    Padded.set t.snapshot pid Nil
+  end
+  else begin
+    Domain.cpu_relax ();
+    end_critical_section t ~pid
+  end
+
+let alloc_hook _t ~pid:_ = 0
+let try_acquire _t ~pid:_ _id = Some 0
+let acquire _t ~pid:_ _id = 0
+let confirm _t ~pid:_ _g _id = true
+let release _t ~pid:_ _g = ()
+
+let rec retire t ~pid _id ~birth op =
+  let s = Atomic.get t.state in
+  if s.active = 0 then
+    (* No reader can hold the object; it is immediately safe. *)
+    if Atomic.compare_and_set t.state s s then push_safe t op else retire t ~pid _id ~birth op
+  else begin
+    let node = Node { refs = Atomic.make s.active; op; next = s.head } in
+    if not (Atomic.compare_and_set t.state s { s with head = node }) then
+      retire t ~pid _id ~birth op
+  end
+
+let retire t ~pid id ~birth op =
+  ignore (Atomic.fetch_and_add t.pending 1);
+  retire t ~pid id ~birth op
+
+let eject ?force:_ t ~pid:_ =
+  match Atomic.get t.safe with
+  | [] -> []
+  | _ ->
+      let ops = Atomic.exchange t.safe [] in
+      ignore (Atomic.fetch_and_add t.pending (-List.length ops));
+      ops
+
+(* Pending entries that are global rather than per-thread: report the
+   whole count against every pid (documented in the interface). *)
+let retired_count t ~pid:_ = Atomic.get t.pending
+let drain_all t = eject t ~pid:0

@@ -1,0 +1,26 @@
+(** Hyaline-1 (Nikolaev & Ravindran 2019) — reference-counted
+    retirement batches.
+
+    A protected-region scheme with no epochs: retired entries join a
+    global list, each stamped with the number of operations active at
+    its retirement. Every operation, on finishing, decrements the stamp
+    of exactly the entries retired during its lifetime (the segment of
+    the list between the heads at its entry and at its exit); the
+    operation that brings a stamp to zero moves the entry to the safe
+    pool, from which {!eject} drains.
+
+    Divergence (DESIGN.md S4): real Hyaline packs the list head and the
+    active-operation counter into one word mutated with wide CAS, and
+    distributes them over several slots. OCaml cannot CAS a
+    pointer+integer word, so we keep a single boxed
+    [{active; head}] record updated by CAS — enter/retire/leave
+    serialize on one atomic, adding contention but preserving the
+    algorithm's counting structure. Two behavioural consequences, both
+    benign: the last operation to leave truncates the global list
+    (in-flight traversals keep their segment reachable), and a retire
+    at [active = 0] goes straight to the safe pool. *)
+
+include Smr_intf.S
+
+val active_count : t -> int
+(** Number of operations currently inside critical sections. *)

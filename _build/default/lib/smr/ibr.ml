@@ -1,0 +1,82 @@
+module Padded = Repro_util.Padded
+
+let name = "IBR"
+let is_protected_region = true
+let confirm_is_trivial = false
+let requires_validation = true
+
+type guard = int
+type interval = { b : int; e : int }
+
+(* Inactive sentinel: an empty interval that intersects nothing. *)
+let inactive = { b = max_int; e = min_int }
+
+type t = {
+  max_threads : int;
+  epoch_freq : int;
+  cleanup_freq : int;
+  ann : interval Padded.t;
+  cur_epoch : int Atomic.t;
+  alloc_tally : int Padded.t; (* owner-thread only *)
+  retired : (int * int) Retire_queue.t array; (* meta = (birth, retire epoch) *)
+}
+
+let create ?(epoch_freq = 40) ?(cleanup_freq = 64) ?slots_per_thread:_ ~max_threads () =
+  {
+    max_threads;
+    epoch_freq;
+    cleanup_freq;
+    ann = Padded.create max_threads inactive;
+    cur_epoch = Atomic.make 0;
+    alloc_tally = Padded.create max_threads 0;
+    retired = Array.init max_threads (fun _ -> Retire_queue.create ());
+  }
+
+let max_threads t = t.max_threads
+let current_epoch t = Atomic.get t.cur_epoch
+let advance_epoch t = ignore (Atomic.fetch_and_add t.cur_epoch 1)
+
+let begin_critical_section t ~pid =
+  let e = Atomic.get t.cur_epoch in
+  Padded.set t.ann pid { b = e; e }
+
+let end_critical_section t ~pid = Padded.set t.ann pid inactive
+
+let alloc_hook t ~pid =
+  let tally = Padded.get t.alloc_tally pid + 1 in
+  Padded.set t.alloc_tally pid tally;
+  if tally mod t.epoch_freq = 0 then advance_epoch t;
+  Atomic.get t.cur_epoch
+
+let try_acquire _t ~pid:_ _id = Some 0
+let acquire _t ~pid:_ _id = 0
+
+let confirm t ~pid _g _id =
+  (* Fig 4: a read performed at the thread's announced upper epoch is
+     protected iff the global epoch has not moved since; otherwise
+     extend the announced interval and have the caller re-read. *)
+  let cur = Atomic.get t.cur_epoch in
+  let a = Padded.get t.ann pid in
+  if a.e = cur then true
+  else begin
+    Padded.set t.ann pid { a with e = cur };
+    false
+  end
+
+let release _t ~pid:_ _g = ()
+
+let retire t ~pid _id ~birth op =
+  Retire_queue.push t.retired.(pid) (birth, Atomic.get t.cur_epoch) op
+
+let eject ?(force = false) t ~pid =
+  let q = t.retired.(pid) in
+  if force || Retire_queue.due q ~every:t.cleanup_freq then begin
+    let n = t.max_threads in
+    let anns = Array.init n (fun i -> Padded.get t.ann i) in
+    Retire_queue.filter_pop q ~safe:(fun (birth, retired_at) ->
+        Array.for_all (fun a -> a.e < birth || a.b > retired_at) anns)
+  end
+  else []
+
+let retired_count t ~pid = Retire_queue.size t.retired.(pid)
+let drain_all t = Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired

@@ -1,0 +1,20 @@
+(** Interval-based reclamation, 2GEIBR variant (Wen et al. 2018; paper
+    Fig 4).
+
+    Every managed object carries a {e birth epoch} ({!alloc_hook});
+    every retired entry an interval [\[birth, retire_epoch\]]. A thread
+    announces an interval [\[begin, end\]] covering its critical
+    section, extending [end] whenever [confirm] observes an epoch
+    advance (the Fig 4 retry loop). An entry is safe once no announced
+    interval intersects its birth–retire interval — strictly less
+    conservative than EBR, at the cost of per-object tagging.
+
+    Divergence note: the paper's C++ reads [beginAnn\[i\]] and
+    [endAnn\[i\]] as two separate words; we store each thread's interval
+    as one atomically-swapped boxed pair, which removes a benign
+    read-skew race rather than introducing one. *)
+
+include Smr_intf.S
+
+val current_epoch : t -> int
+val advance_epoch : t -> unit

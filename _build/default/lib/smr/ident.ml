@@ -1,0 +1,6 @@
+type t = Obj.t
+
+let null = Obj.repr 0
+let of_val v = Obj.repr v
+let equal (a : t) (b : t) = a == b
+let is_null t = t == null

@@ -1,0 +1,32 @@
+(** Type-erased identity tokens for SMR announcement slots and retired
+    lists.
+
+    Hazard-pointer announcement arrays must hold "a pointer to some
+    managed object" regardless of its element type; C++ uses [void*].
+    In OCaml we erase to an opaque token whose {e only} supported
+    operation is physical-identity comparison. The invariant that makes
+    this safe (and keeps [Obj] confined to this module): a token is
+    never converted back into a value, and tokens are only ever created
+    from heap-allocated records (control blocks, nodes), so distinct
+    objects always yield non-equal tokens and no token equals {!null}.
+
+    Physical equality is stable under the moving GC — both references
+    are updated together, so [==] remains meaningful. Address-based
+    hashing would {e not} be stable, which is why the schemes below scan
+    announcement arrays linearly rather than hashing tokens. *)
+
+type t
+(** An identity token. *)
+
+val null : t
+(** The distinguished null token (empty announcement slot). *)
+
+val of_val : 'a -> t
+(** [of_val v] is the identity token of [v]. [v] must be a
+    heap-allocated value (a record, not an immediate); this is not
+    checked. *)
+
+val equal : t -> t -> bool
+(** Physical-identity comparison. *)
+
+val is_null : t -> bool

@@ -1,0 +1,23 @@
+let name = "None"
+let is_protected_region = true
+let confirm_is_trivial = true
+let requires_validation = false
+
+type guard = int
+type t = { max_threads : int; retired : unit Retire_queue.t array }
+
+let create ?epoch_freq:_ ?cleanup_freq:_ ?slots_per_thread:_ ~max_threads () =
+  { max_threads; retired = Array.init max_threads (fun _ -> Retire_queue.create ()) }
+
+let max_threads t = t.max_threads
+let begin_critical_section _t ~pid:_ = ()
+let end_critical_section _t ~pid:_ = ()
+let alloc_hook _t ~pid:_ = 0
+let try_acquire _t ~pid:_ _id = Some 0
+let acquire _t ~pid:_ _id = 0
+let confirm _t ~pid:_ _g _id = true
+let release _t ~pid:_ _g = ()
+let retire t ~pid _id ~birth:_ op = Retire_queue.push t.retired.(pid) () op
+let eject ?force:_ _t ~pid:_ = []
+let retired_count t ~pid = Retire_queue.size t.retired.(pid)
+let drain_all t = Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired

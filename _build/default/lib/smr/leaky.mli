@@ -1,0 +1,8 @@
+(** The no-reclamation baseline: retire parks entries forever and
+    nothing is ever ejected (until {!drain_all} at teardown). Reads
+    cost a single unprotected load — the throughput upper bound
+    benchmark suites traditionally include ("none"/"leak") and a
+    sanity anchor for every other scheme's overhead. Memory grows
+    without bound, which the memory panels make visible. *)
+
+include Smr_intf.S

@@ -1,0 +1,130 @@
+module Padded = Repro_util.Padded
+
+let name = "PTB"
+let is_protected_region = false
+let confirm_is_trivial = false
+let requires_validation = true
+
+type guard = int
+type handoff = (Ident.t * Deferred.t) option
+
+type t = {
+  max_threads : int;
+  k : int;
+  cleanup_freq : int;
+  slots : Ident.t Padded.t; (* posted values, (k+1) per thread *)
+  handoffs : handoff Atomic.t array; (* one per physical slot *)
+  free : int list array; (* owner only *)
+  retired : Ident.t Retire_queue.t array;
+}
+
+let create ?epoch_freq:_ ?(cleanup_freq = 64) ?(slots_per_thread = 8) ~max_threads () =
+  let k = slots_per_thread in
+  {
+    max_threads;
+    k;
+    cleanup_freq = max cleanup_freq (2 * (k + 1) * max_threads);
+    slots = Padded.create ((k + 1) * max_threads) Ident.null;
+    handoffs = Array.init ((k + 1) * max_threads) (fun _ -> Atomic.make None);
+    free = Array.init max_threads (fun _ -> List.init k Fun.id);
+    retired = Array.init max_threads (fun _ -> Retire_queue.create ());
+  }
+
+let max_threads t = t.max_threads
+let slot_index t ~pid local = (pid * (t.k + 1)) + local
+let begin_critical_section _t ~pid:_ = ()
+let end_critical_section _t ~pid:_ = ()
+let alloc_hook _t ~pid:_ = 0
+
+let try_acquire t ~pid id =
+  match t.free.(pid) with
+  | [] -> None
+  | s :: rest ->
+      t.free.(pid) <- rest;
+      Padded.set t.slots (slot_index t ~pid s) id;
+      Some s
+
+let acquire t ~pid id =
+  Padded.set t.slots (slot_index t ~pid t.k) id;
+  t.k
+
+let confirm t ~pid g id =
+  let idx = slot_index t ~pid g in
+  if Ident.equal (Padded.get t.slots idx) id then true
+  else begin
+    Padded.set t.slots idx id;
+    false
+  end
+
+(* Releasing a guard inherits its handed-off buck: the entry returns
+   to the releaser's retired queue and is decided at the next scan. *)
+let release t ~pid g =
+  let idx = slot_index t ~pid g in
+  Padded.set t.slots idx Ident.null;
+  (match Atomic.exchange t.handoffs.(idx) None with
+  | Some (id, op) -> Retire_queue.push t.retired.(pid) id op
+  | None -> ());
+  if g < t.k then t.free.(pid) <- g :: t.free.(pid)
+
+let retire t ~pid id ~birth:_ op = Retire_queue.push t.retired.(pid) id op
+
+(* Liberate: unguarded entries are safe; guarded ones are handed off to
+   the guard that pins them (at most one buck per guard — otherwise the
+   entry stays queued). *)
+let eject ?(force = false) t ~pid =
+  let q = t.retired.(pid) in
+  if force || Retire_queue.due q ~every:t.cleanup_freq then begin
+    let total = (t.k + 1) * t.max_threads in
+    let safe = ref [] in
+    let keep = ref [] in
+    List.iter
+      (fun ((id, op) as entry) ->
+        let posted_at = ref (-1) in
+        (try
+           for i = 0 to total - 1 do
+             if Ident.equal (Padded.get t.slots i) id then begin
+               posted_at := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !posted_at < 0 then safe := op :: !safe
+        else begin
+          let i = !posted_at in
+          if Atomic.compare_and_set t.handoffs.(i) None (Some entry) then begin
+            (* Hand-off succeeded; but if the guard was released in the
+               meantime nobody will inherit the buck, so take it back. *)
+            if not (Ident.equal (Padded.get t.slots i) id) then begin
+              match Atomic.exchange t.handoffs.(i) None with
+              | Some (id', op') when Ident.equal id' id ->
+                  (* Reclaimed our own hand-off: the guard is gone, the
+                     entry is unprotected. *)
+                  safe := op' :: !safe
+              | Some other ->
+                  (* A releaser already took ours and a different buck
+                     landed in the slot: adopt it. *)
+                  keep := other :: !keep
+              | None -> (* a releaser inherited the buck *) ()
+            end
+          end
+          else keep := entry :: !keep
+        end)
+      (Retire_queue.drain_with_meta q);
+    List.iter (fun (id, op) -> Retire_queue.push q id op) (List.rev !keep);
+    List.rev !safe
+  end
+  else []
+
+let retired_count t ~pid = Retire_queue.size t.retired.(pid)
+
+let drain_all t =
+  (* Quiescent: every slot is unposted, but bucks may still sit in
+     hand-off slots from guards released... released guards clear their
+     hand-off, so only unreleased-but-quiescent slots could hold one;
+     sweep them too. *)
+  let parked =
+    Array.to_list t.handoffs
+    |> List.filter_map (fun h ->
+           match Atomic.exchange h None with Some (_, op) -> Some op | None -> None)
+  in
+  parked @ Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired

@@ -1,0 +1,21 @@
+(** Pass-The-Buck (Herlihy, Luchangco, Martin & Moir 2005) — the
+    protected-pointer scheme the paper cites alongside hazard pointers
+    (§2, §6.1); it was the engine of the original single-word lock-free
+    reference counting (SLFRC), making it a natural sixth conversion
+    target for the framework.
+
+    Like HP, threads post the pointer they are reading in a guard
+    slot. The difference is {e liberation with hand-off}: when the
+    ejector finds a retired entry still guarded, it does not keep
+    polling — it {e hands the entry off} to the guard itself (one
+    hand-off slot per guard). Whoever releases or reposts that guard
+    inherits the buck: the handed-off entry returns to the releaser's
+    retired queue and is decided at its next scan. This bounds the
+    number of times an entry can be scanned while one guard pins it and
+    gives PTB its value-recycling flavour.
+
+    Everything else matches the HP implementation: per-thread slot
+    pools plus a reserved slot, announce/confirm revalidation, and
+    [requires_validation = true]. *)
+
+include Smr_intf.S

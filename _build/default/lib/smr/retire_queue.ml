@@ -1,0 +1,45 @@
+type 'meta entry = { meta : 'meta; op : Deferred.t }
+type 'meta t = { q : 'meta entry Queue.t; mutable since_scan : int }
+
+let create () = { q = Queue.create (); since_scan = 0 }
+
+let push t meta op =
+  Queue.push { meta; op } t.q;
+  t.since_scan <- t.since_scan + 1
+
+let size t = Queue.length t.q
+
+let due t ~every =
+  if t.since_scan >= every then begin
+    t.since_scan <- 0;
+    true
+  end
+  else false
+
+let pop_prefix t ~safe =
+  let rec go acc =
+    match Queue.peek_opt t.q with
+    | Some e when safe e.meta ->
+        ignore (Queue.pop t.q);
+        go (e.op :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let filter_pop t ~safe =
+  let keep = Queue.create () in
+  let out = ref [] in
+  Queue.iter (fun e -> if safe e.meta then out := e.op :: !out else Queue.push e keep) t.q;
+  Queue.clear t.q;
+  Queue.transfer keep t.q;
+  List.rev !out
+
+let drain t =
+  let out = Queue.fold (fun acc e -> e.op :: acc) [] t.q in
+  Queue.clear t.q;
+  List.rev out
+
+let drain_with_meta t =
+  let out = Queue.fold (fun acc e -> (e.meta, e.op) :: acc) [] t.q in
+  Queue.clear t.q;
+  List.rev out

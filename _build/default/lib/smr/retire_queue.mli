@@ -1,0 +1,36 @@
+(** Per-thread bag of retired entries, shared by all scheme
+    implementations.
+
+    Each entry carries scheme-specific metadata (retire epoch, birth /
+    retire interval, or the retired pointer's identity token) and the
+    deferred operation. Access is owner-thread-only, except {!drain}
+    which is quiescent-only. *)
+
+type 'meta t
+
+val create : unit -> 'meta t
+
+val push : 'meta t -> 'meta -> (Deferred.t) -> unit
+
+val size : _ t -> int
+(** Entries currently held. *)
+
+val due : _ t -> every:int -> bool
+(** [due q ~every] is [true] on every [every]-th push since the last
+    time it returned [true] (and resets the tally). Drives scan
+    amortization. *)
+
+val pop_prefix : 'meta t -> safe:('meta -> bool) -> (Deferred.t) list
+(** Remove and return the longest prefix of entries (oldest first)
+    whose metadata satisfies [safe]. For queues whose metadata is
+    monotone (EBR retire epochs). *)
+
+val filter_pop : 'meta t -> safe:('meta -> bool) -> (Deferred.t) list
+(** Remove and return all entries satisfying [safe], preserving the
+    order of the remainder. *)
+
+val drain : 'meta t -> (Deferred.t) list
+(** Remove and return everything. *)
+
+val drain_with_meta : 'meta t -> ('meta * Deferred.t) list
+(** Remove and return everything, metadata included (oldest first). *)

@@ -1,0 +1,151 @@
+(** Common interface over manual SMR schemes (paper §2, §3.2).
+
+    Every scheme — hazard pointers, EBR, IBR, Hyaline, hazard eras —
+    implements this signature; the generalized acquire–retire layer
+    (Fig 2) and the manual data structures are functors over it.
+
+    {2 The acquire protocol}
+
+    C++ [acquire] takes a [T**] and reads the location internally; our
+    schemes are type-erased, so the {e typed} read stays with the
+    caller and the scheme exposes a two-phase protocol:
+
+    {[
+      let v = Atomic.get loc in
+      let g = try_acquire s ~pid (ident v) in    (* or acquire for the reserved slot *)
+      let rec settle v =
+        if confirm s ~pid g (ident v) then (v, g)   (* v is now protected *)
+        else settle (Atomic.get loc)
+      in
+      settle (Atomic.get loc)
+    ]}
+
+    [try_acquire] performs the initial announcement (pointer for HP,
+    era for HE, nothing for the region schemes); [confirm g id] checks
+    that the announcement covers the {e most recent} read — re-reading
+    between announce and confirm is what closes the read–reclaim race —
+    and re-announces on failure so the caller can simply re-read and
+    confirm again. For EBR and Hyaline, [confirm] is constantly [true]
+    and the protocol degenerates to a single load, which is exactly why
+    region schemes are fast (paper §2). This protocol subsumes the
+    retry loops of Fig 4 (IBR) and of classic HP verbatim.
+
+    {2 Retire / eject}
+
+    [retire] records a deferred operation (a {!Deferred.t} closure —
+    it receives the pid of the thread that runs it: a
+    [free] for manual use, a reference-count decrement for automatic
+    use — the generalization at the heart of the paper). [eject]
+    returns operations that are no longer protected; it amortizes
+    internally, so most calls return [[]]. Callers must run the
+    returned closures {e outside} the scheme (never reentrantly), which
+    is how the paper avoids recursive ejects (§3.2); the
+    [Acquire_retire] layer provides the drain queue that enforces
+    this. A pointer may be retired several times before being ejected
+    the same number of times (Def 3.3): every scheme here tracks retire
+    {e entries}, not unique pointers, so this needs no special casing.
+
+    {2 Threading}
+
+    [pid] ∈ [0, max_threads) names the calling thread; per-thread state
+    (slots, announcements, retired lists) is padded against false
+    sharing. A given [pid]'s operations must come from one thread at a
+    time. *)
+
+module type S = sig
+  type t
+  (** Scheme instance state. *)
+
+  val name : string
+  (** Short display name, e.g. ["EBR"]. *)
+
+  val is_protected_region : bool
+  (** True for region schemes (EBR, IBR, Hyaline, HE-partially): their
+      [confirm] never fails after the epoch stabilizes and [try_acquire]
+      never exhausts. Used by reporting only. *)
+
+  val confirm_is_trivial : bool
+  (** [true] when [confirm] is constantly [true] (EBR, Hyaline, the
+      leaky baseline): the critical section alone protects every read,
+      so callers can skip the announce-settle re-read entirely — the
+      single-load fast path that makes region schemes cheap. *)
+
+  val requires_validation : bool
+  (** Whether traversals must revalidate link-level reachability
+      (Michael's [*prev == cur] check) before trusting a protected
+      node. [false] only for EBR and Hyaline, whose ejection blocks
+      {e everything} retired after the oldest active critical section
+      began — that global property makes even frozen marked-chain edges
+      safe to follow. IBR, HE, and HP only protect objects whose
+      retirement interval meets the announcement, so a node reached
+      through the frozen edge of an already-unlinked node may already
+      be reclaimed; structures that cannot validate (the NM tree) are
+      unsafe under these schemes, exactly as the paper reports
+      (§5.1). *)
+
+  type guard = int
+  (** Guards are small integers (slot indices or 0 for region schemes).
+      Negative guards never escape. *)
+
+  val create :
+    ?epoch_freq:int -> ?cleanup_freq:int -> ?slots_per_thread:int -> max_threads:int -> unit -> t
+  (** [create ~max_threads ()] builds an instance supporting pids
+      [0 .. max_threads-1].
+      - [epoch_freq]: allocations between global epoch/era advances
+        (EBR default 10, IBR/HE default 40 — the paper's tuned values;
+        ignored by HP and Hyaline).
+      - [cleanup_freq]: retires between eject scans (default 64).
+      - [slots_per_thread]: announcement slots for HP/HE (default 8),
+        excluding the reserved slot; ignored by region schemes. *)
+
+  val max_threads : t -> int
+
+  val begin_critical_section : t -> pid:int -> unit
+  val end_critical_section : t -> pid:int -> unit
+
+  val alloc_hook : t -> pid:int -> int
+  (** Call on every managed allocation; returns the birth tag to store
+      with the object (the current epoch for IBR/HE; 0 for others).
+      Advances the global epoch every [epoch_freq] calls. *)
+
+  val try_acquire : t -> pid:int -> Ident.t -> guard option
+  (** Begin protecting a pointer using a free slot. [None] = slots
+      exhausted (HP/HE only). The protection is not valid until a
+      subsequent [confirm] returns [true]. *)
+
+  val acquire : t -> pid:int -> Ident.t -> guard
+  (** Like {!try_acquire} but uses the per-thread reserved slot; never
+      fails. At most one reserved acquire may be active per thread
+      (Def 3.2 (3)). *)
+
+  val confirm : t -> pid:int -> guard -> Ident.t -> bool
+  (** [confirm t ~pid g id]: [true] iff the value whose identity is
+      [id], read {e after} the guard's last announcement, is protected.
+      On [false] the guard has been re-announced for [id] (HP) or the
+      current epoch (IBR/HE); re-read and confirm again. *)
+
+  val release : t -> pid:int -> guard -> unit
+  (** End the protection of [g]. Guards from [try_acquire] return to
+      the free pool; the reserved guard becomes reusable. *)
+
+  val retire : t -> pid:int -> Ident.t -> birth:int -> Deferred.t -> unit
+  (** Defer an operation on the object identified by [Ident.t] (with
+      the birth tag from {!alloc_hook}) until no acquire active at this
+      call still protects it. *)
+
+  val eject : ?force:bool -> t -> pid:int -> Deferred.t list
+  (** Deferred operations now safe to run. Amortized: most calls return
+      [[]] without scanning; pass [~force:true] to scan unconditionally
+      (used by flush/teardown paths). Run the closures outside the
+      scheme. *)
+
+  val retired_count : t -> pid:int -> int
+  (** Number of this thread's retired-but-not-ejected entries
+      (diagnostics / memory accounting). *)
+
+  val drain_all : t -> Deferred.t list
+  (** Return {e all} pending deferred operations from all threads.
+      Only sound at quiescence: no critical section active, no guard
+      held, no concurrent scheme calls. Used at teardown and by the
+      leak-freedom tests. *)
+end

@@ -1,0 +1,1 @@
+lib/sticky/casloop_counter.ml: Atomic

@@ -1,0 +1,1 @@
+lib/sticky/casloop_counter.mli: Counter_intf

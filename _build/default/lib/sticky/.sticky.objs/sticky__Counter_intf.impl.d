@@ -1,0 +1,1 @@
+lib/sticky/counter_intf.ml:

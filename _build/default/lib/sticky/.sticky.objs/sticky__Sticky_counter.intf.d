@@ -1,0 +1,1 @@
+lib/sticky/sticky_counter.mli: Counter_intf

@@ -1,0 +1,11 @@
+(** CAS-loop sticky counter — the traditional lock-free (but not
+    wait-free) implementation of increment-if-not-zero (paper §1, §4.2).
+
+    Used as the baseline in the sticky-counter ablation benchmark: under
+    P concurrent upgraders the CAS loop costs O(P) amortized per
+    operation, while {!Sticky_counter} stays O(1). *)
+
+include Counter_intf.S
+
+val raw : t -> int
+(** Raw stored value (the logical count; no flag bits). *)

@@ -1,0 +1,32 @@
+(** Common signature of sticky ("increment-if-not-zero") counters.
+
+    A sticky counter is an atomic non-negative counter whose value,
+    once it reaches zero, stays zero forever: a subsequent increment
+    fails rather than resurrecting the count. Reference-counted objects
+    need exactly this — once the strong count hits zero the object is
+    dead, and a racing upgrade from a weak pointer must observe that
+    rather than revive it (paper §4.2–4.3). *)
+
+module type S = sig
+  type t
+
+  val create : int -> t
+  (** [create n] makes a counter with initial value [n ≥ 0]. A counter
+      created at [0] is already stuck at zero. *)
+
+  val increment_if_not_zero : t -> bool
+  (** Atomically increment unless the counter is (stuck at) zero.
+      Returns [true] iff the increment happened. *)
+
+  val decrement : t -> bool
+  (** Atomically decrement. Returns [true] iff this operation brought
+      the counter to zero (exactly one decrement returns [true] for
+      each time the counter permanently dies). Precondition: the caller
+      owns one unit of the count, i.e. the logical value is ≥ 1. *)
+
+  val load : t -> int
+  (** Linearizable read of the logical value (0 once stuck). *)
+
+  val is_zero : t -> bool
+  (** [is_zero t] is [load t = 0]. *)
+end

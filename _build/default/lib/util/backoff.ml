@@ -1,0 +1,11 @@
+type t = { min : int; max : int; mutable cur : int }
+
+let create ?(min = 1) ?(max = 256) () = { min; max; cur = min }
+
+let once t =
+  for _ = 1 to t.cur do
+    Domain.cpu_relax ()
+  done;
+  if t.cur < t.max then t.cur <- t.cur * 2
+
+let reset t = t.cur <- t.min

@@ -1,0 +1,18 @@
+(** Truncated exponential backoff for CAS retry loops.
+
+    Standard contention-management helper: on each failed attempt the
+    caller invokes {!once}, which spins for a geometrically growing
+    number of {!Domain.cpu_relax} iterations, capped at [max]. *)
+
+type t
+
+val create : ?min:int -> ?max:int -> unit -> t
+(** [create ?min ?max ()] returns a fresh backoff controller. [min]
+    (default 1) and [max] (default 256) bound the spin count. *)
+
+val once : t -> unit
+(** Spin once at the current level, then double the level (up to the
+    cap). *)
+
+val reset : t -> unit
+(** Reset the spin level to its minimum (call after a success). *)

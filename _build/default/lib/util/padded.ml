@@ -1,0 +1,18 @@
+type 'a t = 'a Atomic.t array
+
+let stride = 8
+
+let create n init = Array.init (n * stride) (fun _ -> Atomic.make init)
+let length t = Array.length t / stride
+let get t i = Atomic.get t.(i * stride)
+let set t i v = Atomic.set t.(i * stride) v
+let exchange t i v = Atomic.exchange t.(i * stride) v
+let compare_and_set t i expected desired = Atomic.compare_and_set t.(i * stride) expected desired
+
+let fold f acc t =
+  let n = length t in
+  let acc = ref acc in
+  for i = 0 to n - 1 do
+    acc := f !acc (get t i)
+  done;
+  !acc

@@ -1,0 +1,37 @@
+(** Pid-indexed arrays with padding against false sharing.
+
+    Per-thread slots (hazard-pointer announcements, epoch announcements,
+    retired-list heads) are hot: a slot written by thread [i] must not
+    share a cache line with a slot read by thread [j]. We space logical
+    elements [stride] words apart, so each occupies its own cache line
+    on common 64-byte-line hardware. *)
+
+type 'a t
+(** A padded array of ['a]-valued atomics. *)
+
+val stride : int
+(** Number of physical slots per logical element (8 words = 64 bytes). *)
+
+val create : int -> 'a -> 'a t
+(** [create n init] makes a padded array of [n] logical atomics, each
+    initialized to [init]. *)
+
+val length : 'a t -> int
+(** Logical length. *)
+
+val get : 'a t -> int -> 'a
+(** Atomic load of logical element [i]. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** Atomic store to logical element [i]. *)
+
+val exchange : 'a t -> int -> 'a -> 'a
+(** Atomic exchange on logical element [i]. *)
+
+val compare_and_set : 'a t -> int -> 'a -> 'a -> bool
+(** CAS on logical element [i] (physical-equality comparison, as
+    {!Atomic.compare_and_set}). *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** [fold f acc t] folds over current values of all logical elements.
+    Not a snapshot: concurrent updates may or may not be observed. *)

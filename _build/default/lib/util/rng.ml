@@ -1,0 +1,49 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* SplitMix64 step, used only to expand the seed into the xoshiro state
+   and to derive split streams. *)
+let splitmix_next (state : int64 ref) =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_int64_seed s64 =
+  let st = ref s64 in
+  let s0 = splitmix_next st in
+  let s1 = splitmix_next st in
+  let s2 = splitmix_next st in
+  let s3 = splitmix_next st in
+  { s0; s1; s2; s3 }
+
+let create ~seed = of_int64_seed (Int64.of_int seed)
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256** next *)
+let next64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_int64_seed (next64 t)
+
+(* Keep 62 bits: OCaml's int is 63-bit signed, so a 63-bit payload from
+   Int64.to_int could wrap negative. *)
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free modulo is fine for benchmark workloads; bias is
+     negligible for bounds far below 2^62. *)
+  next t mod bound
+
+let float t = Int64.to_float (Int64.shift_right_logical (next64 t) 11) *. 0x1p-53
+let bool t = Int64.logand (next64 t) 1L = 1L

@@ -1,0 +1,31 @@
+(** Deterministic, splittable pseudo-random number generation.
+
+    Each benchmark thread owns its own generator so that results are
+    reproducible independent of scheduling. The implementation is
+    SplitMix64 (for seeding) feeding xoshiro256**, both well-studied
+    non-cryptographic generators. *)
+
+type t
+(** Mutable generator state. Not thread-safe; use one per thread. *)
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator from a 63-bit seed. Equal seeds
+    give equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to hand each worker thread its own stream. *)
+
+val next : t -> int
+(** [next t] returns a uniformly distributed non-negative [int]
+    (62 bits). *)
+
+val int : t -> int -> int
+(** [int t bound] returns a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float
+(** [float t] returns a uniform float in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** [bool t] returns a uniform boolean. *)

@@ -1,0 +1,19 @@
+(** Small descriptive-statistics helpers for the benchmark reporters. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0. on an empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0. for n < 2. *)
+
+val median : float array -> float
+(** Median (does not mutate the input); 0. on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], nearest-rank method. *)
+
+val min_max : float array -> float * float
+(** Minimum and maximum; [(0., 0.)] on an empty array. *)
+
+val throughput_mops : ops:int -> seconds:float -> float
+(** Operations per second in millions. *)

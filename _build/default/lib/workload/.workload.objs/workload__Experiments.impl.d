@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Array Atomic Domain Driver Ds Format Instances List Option Queue_driver Repro_util Sticky Unix

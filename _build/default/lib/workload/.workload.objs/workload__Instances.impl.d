@@ -1,0 +1,1 @@
+lib/workload/instances.ml: Cdrc Ds List Smr String

@@ -1,0 +1,1 @@
+lib/workload/queue_driver.ml: Array Atomic Domain Ds Format List Printexc Printf Repro_util Unix

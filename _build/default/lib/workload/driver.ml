@@ -1,0 +1,155 @@
+(** Multi-domain benchmark driver reproducing the paper's measurement
+    methodology (§5): prefill a structure to a target size, run P
+    threads for a fixed duration against a key range twice the initial
+    size, and report throughput plus memory usage (live simulated-heap
+    blocks, sampled continuously for the average and tracked for the
+    peak).
+
+    Operation mix: [update_pct]% updates (half inserts, half removes),
+    [rq_pct]% range queries of [rq_size] consecutive keys, the
+    remainder point lookups — covering Fig 11 (50/50 updates and range
+    queries) and every Fig 13 panel. *)
+
+type spec = {
+  threads : int;
+  duration : float; (* seconds of measured work *)
+  key_range : int; (* keys drawn uniformly from [0, key_range) *)
+  init_size : int; (* prefilled distinct keys *)
+  update_pct : int;
+  rq_pct : int;
+  rq_size : int;
+  seed : int;
+  buckets : int option; (* hash table only *)
+  slots : int option; (* HP/HE announcement slots per thread *)
+  epoch_freq : int option; (* EBR/IBR/HE epoch advance frequency *)
+}
+
+let default_spec =
+  {
+    threads = 4;
+    duration = 1.0;
+    key_range = 200_000;
+    init_size = 100_000;
+    update_pct = 10;
+    rq_pct = 0;
+    rq_size = 64;
+    seed = 42;
+    buckets = None;
+    slots = None;
+    epoch_freq = None;
+  }
+
+type result = {
+  scheme : string;
+  spec : spec;
+  total_ops : int;
+  elapsed : float;
+  mops : float;
+  live_avg : float; (* mean live blocks sampled during the run *)
+  live_peak : int;
+  leaked : int; (* live blocks after teardown; 0 = leak-free *)
+  uaf : int; (* use-after-free events caught (unsafe schemes) *)
+  snap_slow_share : float option; (* RC only: slow-path snapshot share *)
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-12s P=%-3d %8.3f Mops/s  ops=%-10d live(avg)=%-9.0f peak=%-9d%s%s%s"
+    r.scheme r.spec.threads r.mops r.total_ops r.live_avg r.live_peak
+    (if r.leaked > 0 then Printf.sprintf "  LEAK=%d" r.leaked else "")
+    (if r.uaf > 0 then Printf.sprintf "  UAF=%d" r.uaf else "")
+    (match r.snap_slow_share with
+    | Some s when s > 0.0005 -> Printf.sprintf "  slow-snap=%.1f%%" (100. *. s)
+    | _ -> "")
+
+module Run (D : Ds.Set_intf.S) = struct
+  let prefill d spec =
+    let c = D.ctx d 0 in
+    let rng = Repro_util.Rng.create ~seed:spec.seed in
+    let filled = ref 0 in
+    while !filled < spec.init_size do
+      if D.insert c (Repro_util.Rng.int rng spec.key_range) then incr filled
+    done;
+    D.flush c
+
+  let run ?(spec = default_spec) () =
+    let d =
+      D.create ?buckets:spec.buckets ?slots_per_thread:spec.slots
+        ?epoch_freq:spec.epoch_freq
+        ~max_threads:(spec.threads + 1) (* +1: the sampler/prefill thread *) ()
+    in
+    prefill d spec;
+    D.reset_peak d;
+    let stop = Atomic.make false in
+    let ops = Array.make spec.threads 0 in
+    let uafs = Atomic.make 0 in
+    let worker pid () =
+      let c = D.ctx d (pid + 1) in
+      let rng = Repro_util.Rng.create ~seed:(spec.seed + ((pid + 1) * 7919)) in
+      let n = ref 0 in
+      (try
+         while not (Atomic.get stop) do
+           (* Batch 64 operations between stop-flag checks. *)
+           for _ = 1 to 64 do
+             let r = Repro_util.Rng.int rng 100 in
+             let key = Repro_util.Rng.int rng spec.key_range in
+             if r < spec.update_pct then begin
+               if r land 1 = 0 then ignore (D.insert c key) else ignore (D.remove c key)
+             end
+             else if r < spec.update_pct + spec.rq_pct then
+               ignore (D.range_query c key (key + spec.rq_size))
+             else ignore (D.contains c key)
+           done;
+           n := !n + 64
+         done;
+         D.flush c
+       with e ->
+         ignore (Atomic.fetch_and_add uafs 1);
+         Printf.eprintf "[%s] worker %d died: %s\n%!" D.name pid (Printexc.to_string e));
+      ops.(pid) <- !n
+    in
+    let t0 = Unix.gettimeofday () in
+    let domains = List.init spec.threads (fun pid -> Domain.spawn (worker pid)) in
+    (* Sample memory usage from the coordinating thread while the
+       workers run. *)
+    let samples = ref [] in
+    let deadline = t0 +. spec.duration in
+    let rec sample () =
+      let now = Unix.gettimeofday () in
+      if now < deadline then begin
+        samples := float_of_int (D.live_objects d) :: !samples;
+        Unix.sleepf (min 0.01 (deadline -. now));
+        sample ()
+      end
+    in
+    sample ();
+    Atomic.set stop true;
+    List.iter Domain.join domains;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let total_ops = Array.fold_left ( + ) 0 ops in
+    let live_peak = D.peak_objects d in
+    let live_avg =
+      match !samples with [] -> float_of_int (D.live_objects d) | s -> Repro_util.Stats.mean (Array.of_list s)
+    in
+    let uaf_ds = D.uaf_events d in
+    let snap_slow_share =
+      match D.snapshot_stats d with
+      | Some (fast, slow) when fast + slow > 0 ->
+          Some (float_of_int slow /. float_of_int (fast + slow))
+      | Some _ -> Some 0.
+      | None -> None
+    in
+    D.teardown d;
+    let leaked = D.live_objects d in
+    {
+      scheme = D.name;
+      spec;
+      total_ops;
+      elapsed;
+      mops = Repro_util.Stats.throughput_mops ~ops:total_ops ~seconds:elapsed;
+      live_avg;
+      live_peak;
+      leaked;
+      uaf = uaf_ds + Atomic.get uafs;
+      snap_slow_share;
+    }
+end

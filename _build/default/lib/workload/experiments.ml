@@ -1,0 +1,293 @@
+(** Experiment registry: one entry per table/figure of the paper's
+    evaluation (§5), plus our ablations. DESIGN.md §4 carries the full
+    index; EXPERIMENTS.md records paper-vs-measured outcomes. *)
+
+type set_exp = {
+  id : string;
+  title : string;
+  expected : string; (* the paper's qualitative result for this figure *)
+  structure : Instances.structure;
+  mix : Driver.spec -> Driver.spec; (* workload mix on top of the base spec *)
+}
+
+let with_tree_defaults s =
+  { s with Driver.key_range = 200_000; init_size = 100_000 }
+
+let set_experiments =
+  [
+    {
+      id = "fig11";
+      title = "Fig 11: NM tree, 50% updates / 50% range queries (size 64)";
+      expected =
+        "RC{EBR,IBR,Hyaline} >> RCHP (paper: >7x at 144T; RCHP exhausts \
+         announcement slots on range queries); RC within 10-15% of manual";
+      structure = Tree_s;
+      mix = (fun s -> { (with_tree_defaults s) with update_pct = 50; rq_pct = 50; rq_size = 64 });
+    };
+    {
+      id = "fig13a";
+      title = "Fig 13a: Harris-Michael list, 10% updates / 90% lookups, 1K keys";
+      expected =
+        "region schemes > pointer schemes; RC versions close to manual but \
+         with higher memory (deferred decrements keep chains alive)";
+      structure = List_s;
+      mix =
+        (fun s ->
+          { s with key_range = 2_000; init_size = 1_000; update_pct = 10; rq_pct = 0 });
+    };
+    {
+      id = "fig13b";
+      title = "Fig 13b: Michael hash table, 10% updates / 90% lookups, 100K keys, load factor 1";
+      expected = "all schemes close (shallow buckets); RCEBR ~ EBR";
+      structure = Hash_s;
+      mix =
+        (fun s ->
+          {
+            s with
+            key_range = 200_000;
+            init_size = 100_000;
+            update_pct = 10;
+            rq_pct = 0;
+            buckets = Some 100_000;
+          });
+    };
+    {
+      id = "fig13c";
+      title = "Fig 13c: NM tree, 10% updates / 90% lookups, 100K keys";
+      expected = "RCEBR within 10% of EBR and up to ~1.7x faster than RCHP";
+      structure = Tree_s;
+      mix = (fun s -> { (with_tree_defaults s) with update_pct = 10; rq_pct = 0 });
+    };
+    {
+      id = "fig13d";
+      title = "Fig 13d: NM tree, 50% updates / 50% lookups, 100K keys";
+      expected = "same ordering as 13c with larger RC-vs-manual gaps";
+      structure = Tree_s;
+      mix = (fun s -> { (with_tree_defaults s) with update_pct = 50; rq_pct = 0 });
+    };
+    {
+      id = "fig13e";
+      title = "Fig 13e: NM tree, 1% updates / 99% lookups, 100K keys";
+      expected =
+        "RCEBR ~ EBR (near-identical); RCHyaline slightly faster than Hyaline; \
+         RCIBR ~20% slower than IBR";
+      structure = Tree_s;
+      mix = (fun s -> { (with_tree_defaults s) with update_pct = 1; rq_pct = 0 });
+    };
+    {
+      id = "fig13f";
+      title = "Fig 13f: NM tree, 100% updates, 100K keys (memory stress)";
+      expected =
+        "manual and automatic track each other on throughput; automatic uses \
+         several times more memory when oversubscribed";
+      structure = Tree_s;
+      mix = (fun s -> { (with_tree_defaults s) with update_pct = 100; rq_pct = 0 });
+    };
+  ]
+
+let find_set_exp id = List.find_opt (fun e -> e.id = id) set_experiments
+
+(* ---------------- runners ---------------- *)
+
+let run_set_instance (module D : Ds.Set_intf.S) spec =
+  let module R = Driver.Run (D) in
+  R.run ~spec ()
+
+let run_set_exp ?(threads = [ 1; 2; 4 ]) ?(duration = 0.4) ?(schemes = []) ?(scale = 1) e =
+  Format.printf "@.== %s ==@.expected: %s@.@." e.title e.expected;
+  let instances =
+    match schemes with
+    | [] -> Instances.all_sets e.structure
+    | names ->
+        List.filter_map (fun n -> Instances.find_set e.structure n) names
+  in
+  let results = ref [] in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (module D : Ds.Set_intf.S) ->
+          let spec = e.mix { Driver.default_spec with threads = p; duration } in
+          (* [scale] > 1 shrinks the structure for smoke runs. *)
+          let spec =
+            {
+              spec with
+              init_size = max 16 (spec.init_size / scale);
+              key_range = max 32 (spec.key_range / scale);
+              buckets = Option.map (fun b -> max 16 (b / scale)) spec.buckets;
+            }
+          in
+          let r = run_set_instance (module D) spec in
+          results := r :: !results;
+          Format.printf "%a@." Driver.pp_result r)
+        instances;
+      Format.printf "@.")
+    threads;
+  List.rev !results
+
+let run_fig12 ?(threads = [ 1; 2; 4 ]) ?(duration = 0.4) ?(schemes = []) () =
+  Format.printf
+    "@.== Fig 12: doubly-linked queue, P threads pop-then-push ==@.expected: Original > \
+     ours (RC-weak) >> locked stand-in at high thread counts; ours within ~19-33%% of \
+     Original beyond 1 thread@.@.";
+  let instances =
+    match schemes with
+    | [] -> Instances.queues
+    | names -> List.filter_map Instances.find_queue names
+  in
+  let results = ref [] in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (module Q : Ds.Queue_intf.S) ->
+          let module R = Queue_driver.Run (Q) in
+          let r = R.run ~threads:p ~duration () in
+          results := r :: !results;
+          Format.printf "%a@." Queue_driver.pp_result r)
+        instances;
+      Format.printf "@.")
+    threads;
+  List.rev !results
+
+(* ---------------- ablations ---------------- *)
+
+(* abl1: wait-free sticky counter vs CAS-loop counter under concurrent
+   increment-if-not-zero pressure (the §4.3 claim: O(1) vs O(P)
+   amortized). *)
+let run_abl_sticky ?(threads = [ 1; 2; 4 ]) ?(duration = 0.3) () =
+  Format.printf
+    "@.== Ablation: sticky counter vs CAS-loop counter ==@.expected: sticky sustains \
+     higher inc/dec throughput as contention grows@.@.";
+  let bench name inc dec =
+    List.iter
+      (fun p ->
+        let stop = Atomic.make false in
+        let ops = Array.make p 0 in
+        let worker pid () =
+          let n = ref 0 in
+          while not (Atomic.get stop) do
+            for _ = 1 to 64 do
+              if inc () then ignore (dec ())
+            done;
+            n := !n + 128
+          done;
+          ops.(pid) <- !n
+        in
+        let t0 = Unix.gettimeofday () in
+        let ds = List.init p (fun pid -> Domain.spawn (worker pid)) in
+        Unix.sleepf duration;
+        Atomic.set stop true;
+        List.iter Domain.join ds;
+        let dt = Unix.gettimeofday () -. t0 in
+        let total = Array.fold_left ( + ) 0 ops in
+        Format.printf "%-8s P=%-3d %8.3f Mops/s@." name p
+          (Repro_util.Stats.throughput_mops ~ops:total ~seconds:dt))
+      threads
+  in
+  let s = Sticky.Sticky_counter.create 1 in
+  bench "sticky"
+    (fun () -> Sticky.Sticky_counter.increment_if_not_zero s)
+    (fun () -> Sticky.Sticky_counter.decrement s);
+  let c = Sticky.Casloop_counter.create 1 in
+  bench "casloop"
+    (fun () -> Sticky.Casloop_counter.increment_if_not_zero c)
+    (fun () -> Sticky.Casloop_counter.decrement c);
+  Format.printf "@."
+
+(* abl2: EBR/IBR epoch frequency sweep (the paper's §5.1 tuning:
+   throughput vs memory trade-off). *)
+let run_abl_epochfreq ?(threads = 4) ?(duration = 0.3) ?(freqs = [ 1; 10; 40; 160; 640 ]) ()
+    =
+  Format.printf
+    "@.== Ablation: epoch advance frequency (RCEBR on the NM tree, 50%% updates) \
+     ==@.expected: rare advances raise throughput but grow live memory@.@.";
+  List.iter
+    (fun f ->
+      let spec =
+        {
+          Driver.default_spec with
+          threads;
+          duration;
+          update_pct = 50;
+          key_range = 20_000;
+          init_size = 10_000;
+          epoch_freq = Some f;
+        }
+      in
+      let module R = Driver.Run (Instances.Tr_ebr) in
+      let r = R.run ~spec () in
+      Format.printf "epoch_freq=%-5d %a@." f Driver.pp_result r)
+    freqs;
+  Format.printf "@."
+
+(* abl3: HP announcement-slot budget vs the snapshot fast path — the
+   mechanism behind Fig 11's RCHP collapse, isolated. *)
+let run_abl_hpslots ?(threads = 2) ?(duration = 0.3) ?(slots = [ 2; 4; 8; 16; 32 ]) () =
+  Format.printf
+    "@.== Ablation: RCHP announcement slots vs range-query throughput (NM tree, 50%% \
+     RQ-64) ==@.expected: few slots force the count-increment slow path; throughput \
+     recovers as slots cover the query path@.@.";
+  List.iter
+    (fun k ->
+      let spec =
+        {
+          Driver.default_spec with
+          threads;
+          duration;
+          update_pct = 50;
+          rq_pct = 50;
+          rq_size = 64;
+          key_range = 20_000;
+          init_size = 10_000;
+          slots = Some k;
+        }
+      in
+      let module R = Driver.Run (Instances.Tr_hp) in
+      let r = R.run ~spec () in
+      Format.printf "slots=%-3d %a@." k Driver.pp_result r)
+    slots;
+  Format.printf "@."
+
+(* Extension table: Treiber stack push/pop across every scheme — not a
+   paper figure, but the smallest end-to-end consumer of the framework
+   (includes the "None" leak-everything upper bound). *)
+let run_ext_stack ?(threads = [ 1; 2; 4 ]) ?(duration = 0.3) () =
+  Format.printf
+    "@.== Extension: Treiber stack, P threads push/pop pairs ==@.expected: None (no \
+     reclamation) is the throughput upper bound and the memory worst case; region \
+     schemes close behind; RC versions track their manual counterparts@.@.";
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (module St : Instances.STACK) ->
+          let s = St.create ~max_threads:p () in
+          let stop = Atomic.make false in
+          let ops = Array.make p 0 in
+          let worker pid () =
+            let c = St.ctx s pid in
+            let n = ref 0 in
+            while not (Atomic.get stop) do
+              for i = 1 to 32 do
+                St.push c i;
+                ignore (St.pop c)
+              done;
+              n := !n + 64
+            done;
+            St.flush c;
+            ops.(pid) <- !n
+          in
+          let t0 = Unix.gettimeofday () in
+          let ds = List.init p (fun pid -> Domain.spawn (worker pid)) in
+          Unix.sleepf duration;
+          Atomic.set stop true;
+          List.iter Domain.join ds;
+          let dt = Unix.gettimeofday () -. t0 in
+          let total = Array.fold_left ( + ) 0 ops in
+          let peak_live = St.live_objects s in
+          St.teardown s;
+          Format.printf "%-10s P=%-3d %8.3f Mops/s  residual=%-9d leak-after=%d@." St.name
+            p
+            (Repro_util.Stats.throughput_mops ~ops:total ~seconds:dt)
+            peak_live (St.live_objects s))
+        Instances.stacks;
+      Format.printf "@.")
+    threads

@@ -1,0 +1,62 @@
+(** Driver for the weak-pointer queue benchmark (paper Fig 12): a
+    queue prefilled with P elements, P threads each repeatedly popping
+    an element and re-inserting it. *)
+
+type result = {
+  scheme : string;
+  threads : int;
+  total_ops : int; (* enqueues + dequeues *)
+  elapsed : float;
+  mops : float;
+  leaked : int;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-16s P=%-3d %8.3f Mops/s  ops=%-10d%s" r.scheme r.threads r.mops
+    r.total_ops
+    (if r.leaked > 0 then Printf.sprintf "  LEAK=%d" r.leaked else "")
+
+module Run (Q : Ds.Queue_intf.S) = struct
+  let run ~threads ~duration () =
+    let q = Q.create ~max_threads:(threads + 1) () in
+    let c0 = Q.ctx q 0 in
+    for i = 1 to threads do
+      Q.enqueue c0 i
+    done;
+    Q.flush c0;
+    let stop = Atomic.make false in
+    let ops = Array.make threads 0 in
+    let worker pid () =
+      let c = Q.ctx q (pid + 1) in
+      let n = ref 0 in
+      (try
+         while not (Atomic.get stop) do
+           for _ = 1 to 32 do
+             match Q.dequeue c with
+             | Some v -> Q.enqueue c v
+             | None -> ()
+           done;
+           n := !n + 64
+         done;
+         Q.flush c
+       with e -> Printf.eprintf "[%s] queue worker %d died: %s\n%!" Q.name pid (Printexc.to_string e));
+      ops.(pid) <- !n
+    in
+    let t0 = Unix.gettimeofday () in
+    let domains = List.init threads (fun pid -> Domain.spawn (worker pid)) in
+    Unix.sleepf duration;
+    Atomic.set stop true;
+    List.iter Domain.join domains;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let total_ops = Array.fold_left ( + ) 0 ops in
+    Q.teardown q;
+    let leaked = Q.live_objects q in
+    {
+      scheme = Q.name;
+      threads;
+      total_ops;
+      elapsed;
+      mops = Repro_util.Stats.throughput_mops ~ops:total_ops ~seconds:elapsed;
+      leaked;
+    }
+end

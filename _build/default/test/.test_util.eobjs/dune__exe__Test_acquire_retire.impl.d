@@ -1,0 +1,1 @@
+test/test_acquire_retire.ml: Acquire_retire Alcotest Array Atomic Simheap Smr

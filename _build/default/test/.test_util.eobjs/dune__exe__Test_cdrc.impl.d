@@ -1,0 +1,1 @@
+test/test_cdrc.ml: Alcotest Array Atomic Cdrc Domain List Printexc Printf Repro_util Smr Sys

@@ -1,0 +1,1 @@
+test/test_ds.ml: Alcotest Array Atomic Cdrc Domain Ds Int List Printexc Printf Repro_util Set Smr

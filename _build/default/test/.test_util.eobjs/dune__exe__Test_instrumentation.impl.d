@@ -1,0 +1,1 @@
+test/test_instrumentation.ml: Alcotest Array Cdrc Ds Gc List Smr Sys

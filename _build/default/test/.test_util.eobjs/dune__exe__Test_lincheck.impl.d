@@ -1,0 +1,1 @@
+test/test_lincheck.ml: Alcotest Cdrc Domain Ds Format Int Lincheck List Repro_util Set Smr String

@@ -1,0 +1,1 @@
+test/test_ms_queue.ml: Alcotest Array Atomic Cdrc Domain Ds List Printexc Printf Queue Repro_util Smr

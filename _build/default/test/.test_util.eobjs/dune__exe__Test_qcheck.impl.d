@@ -1,0 +1,1 @@
+test/test_qcheck.ml: Alcotest Array Cdrc Ds Fun Int List QCheck2 QCheck_alcotest Queue Repro_util Set Smr

@@ -1,0 +1,1 @@
+test/test_scheme_details.ml: Alcotest List Option Smr Sticky

@@ -1,0 +1,1 @@
+test/test_simheap.ml: Alcotest Domain Format List Simheap

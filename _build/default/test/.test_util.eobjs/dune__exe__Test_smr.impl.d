@@ -1,0 +1,1 @@
+test/test_smr.ml: Acquire_retire Alcotest Array Atomic Domain List Printexc Printf Repro_util Simheap Smr Sys

@@ -1,0 +1,1 @@
+test/test_stack.ml: Alcotest Array Atomic Cdrc Domain Ds Fun List Printexc Printf Repro_util Smr

@@ -1,0 +1,1 @@
+test/test_sticky.ml: Alcotest Array Atomic Domain List QCheck2 QCheck_alcotest Sticky

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Backoff Domain Fun List Padded Repro_util Rng Stats

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Ds List Repro_util Smr Workload

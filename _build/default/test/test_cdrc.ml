@@ -1,0 +1,623 @@
+(* Tests of the reference-counting core: strong pointer semantics
+   (Fig 5), weak pointers (Figs 8-9), cycle behaviour, destroy-hook
+   cascades, misuse detection, and multi-domain stress. Instantiated
+   for all five SMR schemes. *)
+
+module Make_tests (S : Smr.Smr_intf.S) = struct
+  module R = Cdrc.Make (S)
+
+  let t name speed f = Alcotest.test_case (R.scheme_name ^ ": " ^ name) speed f
+
+  let with_rt ?support_weak ?slots_per_thread ~max_threads f =
+    let rt = R.create ?support_weak ?slots_per_thread ~max_threads () in
+    let r = f rt in
+    R.quiesce rt;
+    r
+
+  (* -------------------- shared_ptr basics --------------------------- *)
+
+  let shared_lifecycle () =
+    with_rt ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    let p = R.Shared.make th 42 in
+    Alcotest.(check int) "get" 42 (R.Shared.get p);
+    Alcotest.(check int) "use_count 1" 1 (R.Shared.use_count p);
+    let q = R.Shared.copy th p in
+    Alcotest.(check int) "use_count 2" 2 (R.Shared.use_count p);
+    Alcotest.(check bool) "equal" true (R.Shared.equal p q);
+    Alcotest.(check int) "live objects" 1 (R.live_objects rt);
+    R.Shared.drop th q;
+    Alcotest.(check int) "back to 1" 1 (R.Shared.use_count p);
+    R.Shared.drop th p;
+    R.quiesce rt;
+    Alcotest.(check int) "reclaimed" 0 (R.live_objects rt)
+
+  let shared_null () =
+    with_rt ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    let p : int R.shared = R.Shared.null () in
+    Alcotest.(check bool) "is_null" true (R.Shared.is_null p);
+    Alcotest.(check int) "count 0" 0 (R.Shared.use_count p);
+    (match R.Shared.get p with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ());
+    R.Shared.drop th p
+
+  let use_after_drop_detected () =
+    with_rt ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    let p = R.Shared.make th 1 in
+    R.Shared.drop th p;
+    (match R.Shared.get p with
+    | _ -> Alcotest.fail "expected Use_after_drop"
+    | exception R.Use_after_drop _ -> ());
+    match R.Shared.drop th p with
+    | _ -> Alcotest.fail "expected Use_after_drop on double drop"
+    | exception R.Use_after_drop _ -> ()
+
+  let destroy_hook_runs () =
+    with_rt ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    let destroyed = ref false in
+    let p = R.Shared.make th ~destroy:(fun _th _v -> destroyed := true) 7 in
+    R.Shared.drop th p;
+    R.quiesce rt;
+    Alcotest.(check bool) "destroy ran" true !destroyed
+
+  (* -------------------- atomic shared pointers ---------------------- *)
+
+  let asp_store_load () =
+    with_rt ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    R.critically th @@ fun () ->
+    let p = R.Shared.make th 1 in
+    let cell = R.Asp.make th (R.Shared.ptr p) in
+    let q = R.Asp.load th cell in
+    Alcotest.(check int) "loaded value" 1 (R.Shared.get q);
+    Alcotest.(check int) "count: p, cell, q" 3 (R.Shared.use_count p);
+    let p2 = R.Shared.make th 2 in
+    R.Asp.store th cell (R.Shared.ptr p2);
+    let q2 = R.Asp.load th cell in
+    Alcotest.(check int) "new value" 2 (R.Shared.get q2);
+    List.iter (R.Shared.drop th) [ p; q; p2; q2 ];
+    R.Asp.clear th cell
+
+  let asp_cas_semantics () =
+    with_rt ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    R.critically th @@ fun () ->
+    let a = R.Shared.make th 1 in
+    let b = R.Shared.make th 2 in
+    let cell = R.Asp.make th (R.Shared.ptr a) in
+    (* Failing CAS: expected doesn't match. *)
+    Alcotest.(check bool) "cas fails" false
+      (R.Asp.compare_and_swap th cell ~expected:(R.Shared.ptr b)
+         ~desired:(R.Shared.ptr b));
+    Alcotest.(check int) "b count unchanged" 1 (R.Shared.use_count b);
+    (* Succeeding CAS. *)
+    Alcotest.(check bool) "cas succeeds" true
+      (R.Asp.compare_and_swap th cell ~expected:(R.Shared.ptr a)
+         ~desired:(R.Shared.ptr b));
+    let cur = R.Asp.load th cell in
+    Alcotest.(check int) "cell holds b" 2 (R.Shared.get cur);
+    List.iter (R.Shared.drop th) [ a; b; cur ];
+    R.Asp.clear th cell
+
+  let asp_cas_null_transitions () =
+    with_rt ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    R.critically th (fun () ->
+    let cell : int R.asp = R.Asp.make_null () in
+    let a = R.Shared.make th 5 in
+    Alcotest.(check bool) "null -> a" true
+      (R.Asp.compare_and_swap th cell ~expected:R.Ptr.null ~desired:(R.Shared.ptr a));
+    Alcotest.(check bool) "a -> null" true
+      (R.Asp.compare_and_swap th cell ~expected:(R.Shared.ptr a) ~desired:R.Ptr.null);
+    R.Shared.drop th a);
+    R.quiesce rt;
+    Alcotest.(check int) "reclaimed" 0 (R.live_objects rt)
+
+  let asp_marks () =
+    with_rt ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    R.critically th @@ fun () ->
+    let a = R.Shared.make th 1 in
+    let cell = R.Asp.make th (R.Shared.ptr a) in
+    Alcotest.(check bool) "try_mark succeeds" true
+      (R.Asp.try_mark th cell ~expected:(R.Shared.ptr a));
+    Alcotest.(check bool) "marked now" true (R.Ptr.is_marked (R.Asp.unsafe_ptr cell));
+    Alcotest.(check bool) "try_mark again fails" false
+      (R.Asp.try_mark th cell ~expected:(R.Shared.ptr a));
+    let snap = R.Asp.get_snapshot th cell in
+    Alcotest.(check bool) "snapshot sees mark" true (R.Snapshot.is_marked snap);
+    Alcotest.(check int) "snapshot value" 1 (R.Snapshot.get snap);
+    (* same_object ignores marks; equal does not. *)
+    Alcotest.(check bool) "same_object" true
+      (R.Ptr.same_object (R.Snapshot.ptr snap) (R.Shared.ptr a));
+    Alcotest.(check bool) "equal respects mark" false
+      (R.Ptr.equal (R.Snapshot.ptr snap ~tag:1) (R.Shared.ptr a));
+    R.Snapshot.drop th snap;
+    R.Shared.drop th a;
+    R.Asp.clear th cell
+
+  let marked_null_slots () =
+    with_rt ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    R.critically th @@ fun () ->
+    let cell : int R.asp = R.Asp.make_null () in
+    Alcotest.(check bool) "mark null" true (R.Asp.try_mark th cell ~expected:R.Ptr.null);
+    let p = R.Asp.unsafe_ptr cell in
+    Alcotest.(check bool) "null and marked" true (R.Ptr.is_null p && R.Ptr.is_marked p)
+
+  (* -------------------- snapshots (Fig 5) --------------------------- *)
+
+  let snapshot_fast_path_no_increment () =
+    with_rt ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    R.critically th @@ fun () ->
+    let p = R.Shared.make th 9 in
+    let cell = R.Asp.make th (R.Shared.ptr p) in
+    let snap = R.Asp.get_snapshot th cell in
+    Alcotest.(check int) "value" 9 (R.Snapshot.get snap);
+    (* Fast path must hold a guard, not a count: use_count unchanged. *)
+    Alcotest.(check bool) "guard protected" true (R.Snapshot.is_protected snap);
+    Alcotest.(check int) "no count bump" 2 (R.Shared.use_count p);
+    R.Snapshot.drop th snap;
+    R.Shared.drop th p;
+    R.Asp.clear th cell
+
+  let snapshot_slow_path_after_exhaustion () =
+    (* Only meaningful for protected-pointer schemes: grab snapshots
+       until try_acquire runs dry, then the slow path takes a count. *)
+    if not S.is_protected_region then begin
+      with_rt ~slots_per_thread:2 ~max_threads:1 @@ fun rt ->
+      let th = R.thread rt 0 in
+      R.critically th @@ fun () ->
+      let p = R.Shared.make th 3 in
+      let cell = R.Asp.make th (R.Shared.ptr p) in
+      let s1 = R.Asp.get_snapshot th cell in
+      let s2 = R.Asp.get_snapshot th cell in
+      let s3 = R.Asp.get_snapshot th cell in
+      (* dispose/weak ARs have their own slots, so only strong-side
+         guards compete: with 2 slots, the third snapshot spills. *)
+      Alcotest.(check bool) "fast paths" true
+        (R.Snapshot.is_protected s1 && R.Snapshot.is_protected s2);
+      Alcotest.(check bool) "slow path" false (R.Snapshot.is_protected s3);
+      Alcotest.(check int) "slow path bumped count" 3 (R.Shared.use_count p);
+      Alcotest.(check int) "all read the value" 9
+        (R.Snapshot.get s1 + R.Snapshot.get s2 + R.Snapshot.get s3);
+      List.iter (R.Snapshot.drop th) [ s1; s2; s3 ];
+      Alcotest.(check int) "counts restored" 2 (R.Shared.use_count p);
+      R.Shared.drop th p;
+      R.Asp.clear th cell
+    end
+
+  let snapshot_keeps_object_alive () =
+    with_rt ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    R.critically th (fun () ->
+        let p = R.Shared.make th 11 in
+        let cell = R.Asp.make th (R.Shared.ptr p) in
+        let snap = R.Asp.get_snapshot th cell in
+        (* Remove both strong references; the snapshot must still read. *)
+        R.Shared.drop th p;
+        R.Asp.store th cell R.Ptr.null;
+        R.flush th;
+        Alcotest.(check int) "still readable" 11 (R.Snapshot.get snap);
+        Alcotest.(check bool) "object not reclaimed" true (R.live_objects rt = 1);
+        R.Snapshot.drop th snap;
+        R.Asp.clear th cell);
+    R.quiesce rt;
+    Alcotest.(check int) "reclaimed after drop" 0 (R.live_objects rt)
+
+  let snapshot_to_shared_upgrade () =
+    with_rt ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    R.critically th @@ fun () ->
+    let p = R.Shared.make th 4 in
+    let cell = R.Asp.make th (R.Shared.ptr p) in
+    let snap = R.Asp.get_snapshot th cell in
+    let q = R.Snapshot.to_shared th snap in
+    R.Snapshot.drop th snap;
+    Alcotest.(check int) "upgraded" 4 (R.Shared.get q);
+    Alcotest.(check int) "count p,cell,q" 3 (R.Shared.use_count p);
+    List.iter (R.Shared.drop th) [ p; q ];
+    R.Asp.clear th cell
+
+  (* -------------------- destroy cascades ---------------------------- *)
+
+  (* A linked chain of N nodes whose destroy hook clears the next
+     pointer: dropping the head must reclaim all N without recursion
+     blowing the stack. *)
+  let long_chain_no_stack_overflow () =
+    with_rt ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    let n = 50_000 in
+    let module Node = struct
+      type t = { next : t R.asp }
+    end in
+    let head = ref (R.Shared.null ()) in
+    R.critically th (fun () ->
+        for _ = 1 to n do
+          let node =
+            R.Shared.make th
+              ~destroy:(fun th (v : Node.t) -> R.Asp.clear th v.Node.next)
+              { Node.next = R.Asp.make th (R.Shared.ptr !head) }
+          in
+          R.Shared.drop th !head;
+          head := node
+        done);
+    Alcotest.(check int) "all live" n (R.live_objects rt);
+    R.critically th (fun () -> R.Shared.drop th !head);
+    R.quiesce rt;
+    Alcotest.(check int) "all reclaimed" 0 (R.live_objects rt)
+
+  (* -------------------- weak pointers (Figs 8-9) -------------------- *)
+
+  let weak_basic_expiry () =
+    with_rt ~support_weak:true ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    let p = R.Shared.make th 21 in
+    let w = R.Weak.of_shared th p in
+    Alcotest.(check bool) "not expired" false (R.Weak.expired w);
+    let q = R.Weak.lock th w in
+    Alcotest.(check int) "locked" 21 (R.Shared.get q);
+    R.Shared.drop th q;
+    R.Shared.drop th p;
+    R.quiesce rt;
+    Alcotest.(check bool) "expired now" true (R.Weak.expired w);
+    let q2 = R.Weak.lock th w in
+    Alcotest.(check bool) "lock gives null" true (R.Shared.is_null q2);
+    R.Shared.drop th q2;
+    (* Object destroyed, but control block alive until weak drops. *)
+    R.Weak.drop th w;
+    R.quiesce rt;
+    Alcotest.(check int) "control block freed" 0 (R.live_objects rt)
+
+  let weak_requires_weak_mode () =
+    with_rt ~support_weak:false ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    let p = R.Shared.make th 1 in
+    (match R.Weak.of_shared th p with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ());
+    R.Shared.drop th p
+
+  let awp_store_load_cas () =
+    with_rt ~support_weak:true ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    R.critically th @@ fun () ->
+    let p = R.Shared.make th 1 in
+    let w = R.Weak.of_shared th p in
+    let cell = R.Awp.make th (R.Weak.ptr w) in
+    let w2 = R.Awp.load th cell in
+    Alcotest.(check bool) "load not null" false (R.Weak.is_null w2);
+    let locked = R.Weak.lock th w2 in
+    Alcotest.(check int) "locked value" 1 (R.Shared.get locked);
+    R.Shared.drop th locked;
+    (* CAS to another object. *)
+    let p2 = R.Shared.make th 2 in
+    let w3 = R.Weak.of_shared th p2 in
+    Alcotest.(check bool) "cas" true
+      (R.Awp.compare_and_swap th cell ~expected:(R.Weak.ptr w) ~desired:(R.Weak.ptr w3));
+    Alcotest.(check bool) "cas stale fails" false
+      (R.Awp.compare_and_swap th cell ~expected:(R.Weak.ptr w) ~desired:(R.Weak.ptr w3));
+    List.iter (R.Weak.drop th) [ w; w2; w3 ];
+    List.iter (R.Shared.drop th) [ p; p2 ];
+    R.Awp.clear th cell
+
+  let weak_snapshot_reads_through_expiry () =
+    (* The §4.4 property: a weak snapshot taken while the object is
+       alive stays readable even if the strong count dies during its
+       lifetime (the dispose is deferred). *)
+    with_rt ~support_weak:true ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    R.critically th (fun () ->
+        let p = R.Shared.make th 33 in
+        let w = R.Weak.of_shared th p in
+        let cell = R.Awp.make th (R.Weak.ptr w) in
+        let ws = R.Awp.get_snapshot th cell in
+        Alcotest.(check bool) "not null" false (R.Weak_snapshot.is_null ws);
+        Alcotest.(check int) "reads" 33 (R.Weak_snapshot.get ws);
+        (* Kill the last strong reference mid-snapshot. *)
+        R.Shared.drop th p;
+        R.flush th;
+        Alcotest.(check int) "still readable after expiry" 33 (R.Weak_snapshot.get ws);
+        R.Weak_snapshot.drop th ws;
+        R.Weak.drop th w;
+        R.Awp.clear th cell);
+    R.quiesce rt;
+    Alcotest.(check int) "reclaimed" 0 (R.live_objects rt)
+
+  let weak_snapshot_null_on_expired () =
+    with_rt ~support_weak:true ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    R.critically th (fun () ->
+        let p = R.Shared.make th 1 in
+        let w = R.Weak.of_shared th p in
+        let cell = R.Awp.make th (R.Weak.ptr w) in
+        R.Shared.drop th p;
+        R.flush th;
+        (* Cell still holds the (expired) pointer: snapshot is null. *)
+        let ws = R.Awp.get_snapshot th cell in
+        Alcotest.(check bool) "null snapshot" true (R.Weak_snapshot.is_null ws);
+        R.Weak_snapshot.drop th ws;
+        R.Weak.drop th w;
+        R.Awp.clear th cell);
+    R.quiesce rt
+
+  let weak_snapshot_upgrade () =
+    with_rt ~support_weak:true ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    R.critically th @@ fun () ->
+    let p = R.Shared.make th 8 in
+    let w = R.Weak.of_shared th p in
+    let cell = R.Awp.make th (R.Weak.ptr w) in
+    let ws = R.Awp.get_snapshot th cell in
+    let q = R.Weak_snapshot.to_shared th ws in
+    Alcotest.(check int) "upgraded" 8 (R.Shared.get q);
+    R.Weak_snapshot.drop th ws;
+    List.iter (R.Shared.drop th) [ p; q ];
+    R.Weak.drop th w;
+    R.Awp.clear th cell
+
+  (* -------------------- cycles ------------------------------------- *)
+
+  let strong_cycle_leaks () =
+    let module Node = struct
+      type t = { other : t R.asp }
+    end in
+    with_rt ~support_weak:true ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    R.critically th (fun () ->
+        let a =
+          R.Shared.make th
+            ~destroy:(fun th v -> R.Asp.clear th v.Node.other)
+            { Node.other = R.Asp.make_null () }
+        in
+        let b =
+          R.Shared.make th
+            ~destroy:(fun th v -> R.Asp.clear th v.Node.other)
+            { Node.other = R.Asp.make_null () }
+        in
+        R.Asp.store th (R.Shared.get a).Node.other (R.Shared.ptr b);
+        R.Asp.store th (R.Shared.get b).Node.other (R.Shared.ptr a);
+        R.Shared.drop th a;
+        R.Shared.drop th b);
+    R.quiesce rt;
+    (* Reference counting cannot collect a strong cycle: both leak. *)
+    Alcotest.(check int) "cycle leaks" 2 (R.live_objects rt)
+
+  let weak_backedge_breaks_cycle () =
+    let module Node = struct
+      type t = { child : t R.asp; parent : t R.awp }
+    end in
+    with_rt ~support_weak:true ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    R.critically th (fun () ->
+        let destroy th v =
+          R.Asp.clear th v.Node.child;
+          R.Awp.clear th v.Node.parent
+        in
+        let parent =
+          R.Shared.make th ~destroy
+            { Node.child = R.Asp.make_null (); parent = R.Awp.make_null () }
+        in
+        let child =
+          R.Shared.make th ~destroy
+            { Node.child = R.Asp.make_null (); parent = R.Awp.make_null () }
+        in
+        (* parent -> child strong; child -> parent weak. *)
+        R.Asp.store th (R.Shared.get parent).Node.child (R.Shared.ptr child);
+        let wp = R.Weak.of_shared th parent in
+        R.Awp.store th (R.Shared.get child).Node.parent (R.Weak.ptr wp);
+        R.Weak.drop th wp;
+        (* Child can still reach a live parent through the weak edge. *)
+        let w = R.Awp.load th (R.Shared.get child).Node.parent in
+        let up = R.Weak.lock th w in
+        Alcotest.(check bool) "parent reachable" false (R.Shared.is_null up);
+        R.Shared.drop th up;
+        R.Weak.drop th w;
+        R.Shared.drop th child;
+        R.Shared.drop th parent);
+    R.quiesce rt;
+    (* The weak back-edge lets the pair be reclaimed. *)
+    Alcotest.(check int) "no leak" 0 (R.live_objects rt)
+
+  (* -------------------- scoped helpers ------------------------------ *)
+
+  let scoped_helpers () =
+    with_rt ~max_threads:1 @@ fun rt ->
+    let th = R.thread rt 0 in
+    let out =
+      R.Shared.scoped th 5 (fun p ->
+          Alcotest.(check int) "scoped value" 5 (R.Shared.get p);
+          R.Shared.get p * 2)
+    in
+    Alcotest.(check int) "result" 10 out;
+    (* Exception safety: the pointer is dropped even on raise. *)
+    (match R.Shared.scoped th 7 (fun _ -> failwith "boom") with
+    | _ -> Alcotest.fail "expected exception"
+    | exception Failure _ -> ());
+    R.quiesce rt;
+    Alcotest.(check int) "nothing leaked" 0 (R.live_objects rt);
+    R.critically th (fun () ->
+        R.Shared.scoped th 3 (fun p ->
+            let cell = R.Asp.make th (R.Shared.ptr p) in
+            let v = R.Asp.with_snapshot th cell (fun s -> R.Snapshot.get s) in
+            Alcotest.(check int) "with_snapshot" 3 v;
+            R.Asp.clear th cell))
+
+  (* -------------------- multi-domain stress ------------------------- *)
+
+  let stress_asp ~threads ~iters () =
+    let rt = R.create ~support_weak:false ~max_threads:threads () in
+    let nslots = 8 in
+    let cells = Array.init nslots (fun _ -> R.Asp.make_null ()) in
+    (* Seed the cells. *)
+    let th0 = R.thread rt 0 in
+    Array.iter
+      (fun c ->
+        let p = R.Shared.make th0 0 in
+        R.Asp.store th0 c (R.Shared.ptr p);
+        R.Shared.drop th0 p)
+      cells;
+    let failures = Atomic.make 0 in
+    let worker pid () =
+      let th = R.thread rt pid in
+      let rng = Repro_util.Rng.create ~seed:(pid + 1) in
+      try
+        for i = 1 to iters do
+          R.critically th (fun () ->
+              let c = cells.(Repro_util.Rng.int rng nslots) in
+              match Repro_util.Rng.int rng 4 with
+              | 0 ->
+                  (* load + deref *)
+                  let p = R.Asp.load th c in
+                  if not (R.Shared.is_null p) then ignore (Sys.opaque_identity (R.Shared.get p));
+                  R.Shared.drop th p
+              | 1 ->
+                  (* snapshot + deref *)
+                  let s = R.Asp.get_snapshot th c in
+                  if not (R.Snapshot.is_null s) then
+                    ignore (Sys.opaque_identity (R.Snapshot.get s));
+                  R.Snapshot.drop th s
+              | 2 ->
+                  (* store a fresh object *)
+                  let p = R.Shared.make th i in
+                  R.Asp.store th c (R.Shared.ptr p);
+                  R.Shared.drop th p
+              | _ ->
+                  (* cas current -> fresh *)
+                  let s = R.Asp.get_snapshot th c in
+                  let p = R.Shared.make th i in
+                  ignore
+                    (R.Asp.compare_and_swap th c ~expected:(R.Snapshot.ptr s)
+                       ~desired:(R.Shared.ptr p));
+                  R.Shared.drop th p;
+                  R.Snapshot.drop th s)
+        done;
+        R.flush th
+      with e ->
+        ignore (Atomic.fetch_and_add failures 1);
+        Printf.eprintf "[%s] stress worker %d: %s\n%!" R.scheme_name pid
+          (Printexc.to_string e)
+    in
+    let domains = List.init threads (fun pid -> Domain.spawn (worker pid)) in
+    List.iter Domain.join domains;
+    Alcotest.(check int) "no failures" 0 (Atomic.get failures);
+    Array.iter (fun c -> R.Asp.clear th0 c) cells;
+    R.quiesce rt;
+    Alcotest.(check int) "leak free" 0 (R.live_objects rt)
+
+  let stress_weak ~threads ~iters () =
+    let rt = R.create ~support_weak:true ~max_threads:threads () in
+    let strong_cell = R.Asp.make_null () in
+    let weak_cell : int R.awp = R.Awp.make_null () in
+    let th0 = R.thread rt 0 in
+    let p0 = R.Shared.make th0 0 in
+    R.Asp.store th0 strong_cell (R.Shared.ptr p0);
+    R.Shared.drop th0 p0;
+    let failures = Atomic.make 0 in
+    let worker pid () =
+      let th = R.thread rt pid in
+      let rng = Repro_util.Rng.create ~seed:(pid + 99) in
+      try
+        for i = 1 to iters do
+          R.critically th (fun () ->
+              match Repro_util.Rng.int rng 5 with
+              | 0 ->
+                  (* publish a weak view of the current strong value *)
+                  let s = R.Asp.get_snapshot th strong_cell in
+                  if not (R.Snapshot.is_null s) then begin
+                    let w = R.Weak.of_snapshot th s in
+                    R.Awp.store th weak_cell (R.Weak.ptr w);
+                    R.Weak.drop th w
+                  end;
+                  R.Snapshot.drop th s
+              | 1 ->
+                  (* replace the strong value: older objects expire *)
+                  let p = R.Shared.make th i in
+                  R.Asp.store th strong_cell (R.Shared.ptr p);
+                  R.Shared.drop th p
+              | 2 ->
+                  (* weak snapshot: deref must be safe even if expired *)
+                  let ws = R.Awp.get_snapshot th weak_cell in
+                  if not (R.Weak_snapshot.is_null ws) then
+                    ignore (Sys.opaque_identity (R.Weak_snapshot.get ws));
+                  R.Weak_snapshot.drop th ws
+              | 3 ->
+                  (* load + lock: null result is fine *)
+                  let w = R.Awp.load th weak_cell in
+                  let s = R.Weak.lock th w in
+                  if not (R.Shared.is_null s) then
+                    ignore (Sys.opaque_identity (R.Shared.get s));
+                  R.Shared.drop th s;
+                  R.Weak.drop th w
+              | _ ->
+                  let s = R.Asp.load th strong_cell in
+                  if not (R.Shared.is_null s) then
+                    ignore (Sys.opaque_identity (R.Shared.get s));
+                  R.Shared.drop th s)
+        done;
+        R.flush th
+      with e ->
+        ignore (Atomic.fetch_and_add failures 1);
+        Printf.eprintf "[%s] weak stress %d: %s\n%!" R.scheme_name pid
+          (Printexc.to_string e)
+    in
+    let domains = List.init threads (fun pid -> Domain.spawn (worker pid)) in
+    List.iter Domain.join domains;
+    Alcotest.(check int) "no failures" 0 (Atomic.get failures);
+    R.Asp.clear th0 strong_cell;
+    R.Awp.clear th0 weak_cell;
+    R.quiesce rt;
+    Alcotest.(check int) "leak free" 0 (R.live_objects rt)
+
+  let tests =
+    [
+      t "shared lifecycle" `Quick shared_lifecycle;
+      t "shared null" `Quick shared_null;
+      t "use after drop" `Quick use_after_drop_detected;
+      t "destroy hook" `Quick destroy_hook_runs;
+      t "asp store/load" `Quick asp_store_load;
+      t "asp cas" `Quick asp_cas_semantics;
+      t "asp cas null" `Quick asp_cas_null_transitions;
+      t "asp marks" `Quick asp_marks;
+      t "marked null" `Quick marked_null_slots;
+      t "snapshot fast path" `Quick snapshot_fast_path_no_increment;
+      t "snapshot slow path" `Quick snapshot_slow_path_after_exhaustion;
+      t "snapshot keeps alive" `Quick snapshot_keeps_object_alive;
+      t "snapshot upgrade" `Quick snapshot_to_shared_upgrade;
+      t "long chain reclamation" `Slow long_chain_no_stack_overflow;
+      t "weak expiry" `Quick weak_basic_expiry;
+      t "weak needs weak mode" `Quick weak_requires_weak_mode;
+      t "awp store/load/cas" `Quick awp_store_load_cas;
+      t "weak snapshot through expiry" `Quick weak_snapshot_reads_through_expiry;
+      t "weak snapshot null on expired" `Quick weak_snapshot_null_on_expired;
+      t "weak snapshot upgrade" `Quick weak_snapshot_upgrade;
+      t "scoped helpers" `Quick scoped_helpers;
+      t "strong cycle leaks" `Quick strong_cycle_leaks;
+      t "weak edge breaks cycle" `Quick weak_backedge_breaks_cycle;
+      t "stress strong" `Slow (stress_asp ~threads:4 ~iters:10_000);
+      t "stress weak" `Slow (stress_weak ~threads:4 ~iters:10_000);
+    ]
+end
+
+module T_ebr = Make_tests (Smr.Ebr)
+module T_ibr = Make_tests (Smr.Ibr)
+module T_hyaline = Make_tests (Smr.Hyaline)
+module T_hp = Make_tests (Smr.Hp)
+module T_he = Make_tests (Smr.Hazard_eras)
+module T_ptb = Make_tests (Smr.Ptb)
+
+let () =
+  Alcotest.run "cdrc"
+    [
+      ("rcebr", T_ebr.tests);
+      ("rcibr", T_ibr.tests);
+      ("rchyaline", T_hyaline.tests);
+      ("rchp", T_hp.tests);
+      ("rche", T_he.tests);
+      ("rcptb", T_ptb.tests);
+    ]

@@ -1,0 +1,447 @@
+(* Data-structure tests: each set implementation is checked against a
+   sequential model, for set semantics under concurrency (disjoint-key
+   partitions), for range queries, and for leak freedom at teardown.
+   Queues are checked for per-thread FIFO order, element conservation
+   under concurrency, and leak freedom. *)
+
+module IntSet = Set.Make (Int)
+
+module Make_set_tests (D : Ds.Set_intf.S) (L : sig
+  val label : string
+end) =
+struct
+  let t name speed f = Alcotest.test_case (L.label ^ ": " ^ name) speed f
+
+  let sequential_model () =
+    let d = D.create ~max_threads:1 () in
+    let c = D.ctx d 0 in
+    let model = ref IntSet.empty in
+    let rng = Repro_util.Rng.create ~seed:2024 in
+    for _ = 1 to 5_000 do
+      let key = Repro_util.Rng.int rng 64 in
+      match Repro_util.Rng.int rng 3 with
+      | 0 ->
+          let expected = not (IntSet.mem key !model) in
+          model := IntSet.add key !model;
+          Alcotest.(check bool) "insert agrees" expected (D.insert c key)
+      | 1 ->
+          let expected = IntSet.mem key !model in
+          model := IntSet.remove key !model;
+          Alcotest.(check bool) "remove agrees" expected (D.remove c key)
+      | _ ->
+          Alcotest.(check bool) "contains agrees" (IntSet.mem key !model) (D.contains c key)
+    done;
+    Alcotest.(check int) "final size agrees" (IntSet.cardinal !model) (D.size d);
+    D.flush c;
+    D.teardown d;
+    Alcotest.(check int) "leak free" 0 (D.live_objects d)
+
+  let duplicate_semantics () =
+    let d = D.create ~max_threads:1 () in
+    let c = D.ctx d 0 in
+    Alcotest.(check bool) "fresh insert" true (D.insert c 7);
+    Alcotest.(check bool) "duplicate insert" false (D.insert c 7);
+    Alcotest.(check bool) "present" true (D.contains c 7);
+    Alcotest.(check bool) "remove" true (D.remove c 7);
+    Alcotest.(check bool) "absent remove" false (D.remove c 7);
+    Alcotest.(check bool) "absent" false (D.contains c 7);
+    D.teardown d
+
+  let range_query_counts () =
+    let d = D.create ~max_threads:1 () in
+    let c = D.ctx d 0 in
+    for k = 0 to 99 do
+      ignore (D.insert c k)
+    done;
+    Alcotest.(check int) "[10,20)" 10 (D.range_query c 10 20);
+    Alcotest.(check int) "[0,100)" 100 (D.range_query c 0 100);
+    Alcotest.(check int) "[95,200)" 5 (D.range_query c 95 200);
+    Alcotest.(check int) "empty range" 0 (D.range_query c 200 300);
+    ignore (D.remove c 15);
+    Alcotest.(check int) "[10,20) after remove" 9 (D.range_query c 10 20);
+    D.teardown d
+
+  (* Disjoint key partitions: every thread owns keys ≡ pid (mod P), so
+     expected final contents are exact. *)
+  let concurrent_disjoint () =
+    let p = 4 in
+    let per = 300 in
+    let d = D.create ~max_threads:p () in
+    let failures = Atomic.make 0 in
+    let worker pid () =
+      let c = D.ctx d pid in
+      try
+        for i = 0 to per - 1 do
+          let key = (i * p) + pid in
+          if not (D.insert c key) then raise Exit
+        done;
+        (* Remove every other one of our keys. *)
+        for i = 0 to (per / 2) - 1 do
+          let key = (2 * i * p) + pid in
+          if not (D.remove c key) then raise Exit
+        done;
+        D.flush c
+      with _ -> ignore (Atomic.fetch_and_add failures 1)
+    in
+    let domains = List.init p (fun pid -> Domain.spawn (worker pid)) in
+    List.iter Domain.join domains;
+    Alcotest.(check int) "no worker failures" 0 (Atomic.get failures);
+    Alcotest.(check int) "final size" (p * per / 2) (D.size d);
+    let c0 = D.ctx d 0 in
+    for i = 0 to per - 1 do
+      for pid = 0 to p - 1 do
+        let key = (i * p) + pid in
+        let expected = i mod 2 = 1 in
+        if D.contains c0 key <> expected then
+          Alcotest.failf "key %d: expected %b" key expected
+      done
+    done;
+    D.teardown d;
+    Alcotest.(check int) "leak free" 0 (D.live_objects d)
+
+  (* Contended single-key churn plus readers: exercises helping and
+     unlink races; checks nothing crashes and memory is reclaimed. *)
+  let concurrent_churn () =
+    let p = 4 in
+    let d = D.create ~max_threads:p () in
+    let failures = Atomic.make 0 in
+    let worker pid () =
+      let c = D.ctx d pid in
+      let rng = Repro_util.Rng.create ~seed:(pid + 31) in
+      try
+        for _ = 1 to 5_000 do
+          let key = Repro_util.Rng.int rng 16 in
+          match Repro_util.Rng.int rng 3 with
+          | 0 -> ignore (D.insert c key)
+          | 1 -> ignore (D.remove c key)
+          | _ -> ignore (D.contains c key)
+        done;
+        D.flush c
+      with e ->
+        ignore (Atomic.fetch_and_add failures 1);
+        Printf.eprintf "[%s churn %d] %s\n%!" L.label pid (Printexc.to_string e)
+    in
+    let domains = List.init p (fun pid -> Domain.spawn (worker pid)) in
+    List.iter Domain.join domains;
+    Alcotest.(check int) "no worker failures" 0 (Atomic.get failures);
+    let size = D.size d in
+    Alcotest.(check bool) "size within key range" true (size >= 0 && size <= 16);
+    D.teardown d;
+    Alcotest.(check int) "leak free" 0 (D.live_objects d)
+
+  let tests =
+    [
+      t "sequential model" `Slow sequential_model;
+      t "duplicate semantics" `Quick duplicate_semantics;
+      t "range query" `Quick range_query_counts;
+      t "concurrent disjoint" `Slow concurrent_disjoint;
+      t "concurrent churn" `Slow concurrent_churn;
+    ]
+end
+
+(* ---- instantiations: a representative matrix (the benchmark covers
+   the full one) ---- *)
+
+module RC_ebr = Cdrc.Make (Smr.Ebr)
+module RC_hp = Cdrc.Make (Smr.Hp)
+module RC_hyaline = Cdrc.Make (Smr.Hyaline)
+module RC_ibr = Cdrc.Make (Smr.Ibr)
+
+module L_ebr = Ds.Hm_list_manual.Make (Smr.Ebr)
+module L_hp = Ds.Hm_list_manual.Make (Smr.Hp)
+module L_ibr = Ds.Hm_list_manual.Make (Smr.Ibr)
+module L_hyaline = Ds.Hm_list_manual.Make (Smr.Hyaline)
+module L_he = Ds.Hm_list_manual.Make (Smr.Hazard_eras)
+module Lr_ebr = Ds.Hm_list_rc.Make (RC_ebr)
+module Lr_hp = Ds.Hm_list_rc.Make (RC_hp)
+module H_ebr = Ds.Hash_table_manual.Make (Smr.Ebr)
+module Hr_ebr = Ds.Hash_table_rc.Make (RC_ebr)
+module T_ebr = Ds.Nm_tree_manual.Make (Smr.Ebr)
+module T_hyaline = Ds.Nm_tree_manual.Make (Smr.Hyaline)
+module Tr_ebr = Ds.Nm_tree_rc.Make (RC_ebr)
+module Tr_hp = Ds.Nm_tree_rc.Make (RC_hp)
+module Tr_ibr = Ds.Nm_tree_rc.Make (RC_ibr)
+
+module Tests_l_ebr =
+  Make_set_tests
+    (L_ebr)
+    (struct
+      let label = "list/EBR"
+    end)
+
+module Tests_l_hp =
+  Make_set_tests
+    (L_hp)
+    (struct
+      let label = "list/HP"
+    end)
+
+module Tests_l_ibr =
+  Make_set_tests
+    (L_ibr)
+    (struct
+      let label = "list/IBR"
+    end)
+
+module Tests_l_hyaline =
+  Make_set_tests
+    (L_hyaline)
+    (struct
+      let label = "list/Hyaline"
+    end)
+
+module Tests_l_he =
+  Make_set_tests
+    (L_he)
+    (struct
+      let label = "list/HE"
+    end)
+
+module Tests_lr_ebr =
+  Make_set_tests
+    (Lr_ebr)
+    (struct
+      let label = "list/RCEBR"
+    end)
+
+module Tests_lr_hp =
+  Make_set_tests
+    (Lr_hp)
+    (struct
+      let label = "list/RCHP"
+    end)
+
+module Tests_h_ebr =
+  Make_set_tests
+    (H_ebr)
+    (struct
+      let label = "hash/EBR"
+    end)
+
+module Tests_hr_ebr =
+  Make_set_tests
+    (Hr_ebr)
+    (struct
+      let label = "hash/RCEBR"
+    end)
+
+module Tests_t_ebr =
+  Make_set_tests
+    (T_ebr)
+    (struct
+      let label = "tree/EBR"
+    end)
+
+module Tests_t_hyaline =
+  Make_set_tests
+    (T_hyaline)
+    (struct
+      let label = "tree/Hyaline"
+    end)
+
+module Tests_tr_ebr =
+  Make_set_tests
+    (Tr_ebr)
+    (struct
+      let label = "tree/RCEBR"
+    end)
+
+module Tests_tr_hp =
+  Make_set_tests
+    (Tr_hp)
+    (struct
+      let label = "tree/RCHP"
+    end)
+
+module Tests_tr_ibr =
+  Make_set_tests
+    (Tr_ibr)
+    (struct
+      let label = "tree/RCIBR"
+    end)
+
+(* ---- queue tests ---- *)
+
+module Make_queue_tests (Q : Ds.Queue_intf.S) (L : sig
+  val label : string
+end) =
+struct
+  let t name speed f = Alcotest.test_case (L.label ^ ": " ^ name) speed f
+
+  let fifo_single_thread () =
+    let q = Q.create ~max_threads:1 () in
+    let c = Q.ctx q 0 in
+    Alcotest.(check (option int)) "empty" None (Q.dequeue c);
+    for i = 1 to 100 do
+      Q.enqueue c i
+    done;
+    for i = 1 to 100 do
+      Alcotest.(check (option int)) "fifo order" (Some i) (Q.dequeue c)
+    done;
+    Alcotest.(check (option int)) "empty again" None (Q.dequeue c);
+    Q.flush c;
+    Q.teardown q;
+    Alcotest.(check int) "leak free" 0 (Q.live_objects q)
+
+  let interleaved_enq_deq () =
+    let q = Q.create ~max_threads:1 () in
+    let c = Q.ctx q 0 in
+    for round = 0 to 9 do
+      for i = 0 to 9 do
+        Q.enqueue c ((round * 10) + i)
+      done;
+      for i = 0 to 9 do
+        Alcotest.(check (option int)) "fifo" (Some ((round * 10) + i)) (Q.dequeue c)
+      done
+    done;
+    Q.flush c;
+    Q.teardown q;
+    Alcotest.(check int) "leak free" 0 (Q.live_objects q)
+
+  (* The paper's Fig 12 workload shape: P threads each repeatedly
+     dequeue an element and re-enqueue it; the multiset of values is
+     conserved. *)
+  let conservation_under_contention () =
+    let p = 4 in
+    let q = Q.create ~max_threads:p () in
+    let c0 = Q.ctx q 0 in
+    for i = 1 to p * 3 do
+      Q.enqueue c0 i
+    done;
+    let failures = Atomic.make 0 in
+    let worker pid () =
+      let c = Q.ctx q pid in
+      try
+        for _ = 1 to 5_000 do
+          match Q.dequeue c with Some v -> Q.enqueue c v | None -> ()
+        done;
+        Q.flush c
+      with e ->
+        ignore (Atomic.fetch_and_add failures 1);
+        Printf.eprintf "[%s conserve %d] %s\n%!" L.label pid (Printexc.to_string e)
+    in
+    let domains = List.init p (fun pid -> Domain.spawn (worker pid)) in
+    List.iter Domain.join domains;
+    Alcotest.(check int) "no worker failures" 0 (Atomic.get failures);
+    let rec drain acc =
+      match Q.dequeue c0 with Some v -> drain (v :: acc) | None -> acc
+    in
+    let final = List.sort compare (drain []) in
+    let expected = List.init (p * 3) (fun i -> i + 1) in
+    Alcotest.(check (list int)) "values conserved" expected final;
+    Q.flush c0;
+    Q.teardown q;
+    Alcotest.(check int) "leak free" 0 (Q.live_objects q)
+
+  let per_producer_order () =
+    (* Two producers with disjoint value spaces and one consumer: each
+       producer's values must come out in its insertion order. *)
+    let q = Q.create ~max_threads:3 () in
+    let n = 2_000 in
+    let producer pid () =
+      let c = Q.ctx q pid in
+      for i = 0 to n - 1 do
+        Q.enqueue c ((pid * 1_000_000) + i);
+        if i land 63 = 0 then Q.flush c
+      done;
+      Q.flush c
+    in
+    let consumer () =
+      let c = Q.ctx q 2 in
+      let seen = Array.make 2 (-1) in
+      let got = ref 0 in
+      let ok = ref true in
+      while !got < 2 * n do
+        match Q.dequeue c with
+        | None -> Domain.cpu_relax ()
+        | Some v ->
+            incr got;
+            let pid = v / 1_000_000 in
+            let i = v mod 1_000_000 in
+            if i <= seen.(pid) then ok := false;
+            seen.(pid) <- i
+      done;
+      !ok
+    in
+    let p1 = Domain.spawn (producer 0) in
+    let p2 = Domain.spawn (producer 1) in
+    let cons = Domain.spawn consumer in
+    Domain.join p1;
+    Domain.join p2;
+    Alcotest.(check bool) "per-producer order" true (Domain.join cons);
+    Q.teardown q;
+    Alcotest.(check int) "leak free" 0 (Q.live_objects q)
+
+  let tests =
+    [
+      t "fifo single thread" `Quick fifo_single_thread;
+      t "interleaved" `Quick interleaved_enq_deq;
+      t "conservation" `Slow conservation_under_contention;
+      t "per-producer order" `Slow per_producer_order;
+    ]
+end
+
+module Q_rc_hp = Ds.Dl_queue_rc.Make (RC_hp)
+module Q_rc_ebr = Ds.Dl_queue_rc.Make (RC_ebr)
+module Q_rc_hyaline = Ds.Dl_queue_rc.Make (RC_hyaline)
+module Q_manual = Ds.Dl_queue_manual.Make ()
+module Q_locked = Ds.Dl_queue_locked.Make ()
+
+module Tests_q_rc_hp =
+  Make_queue_tests
+    (Q_rc_hp)
+    (struct
+      let label = "queue/RCHP-weak"
+    end)
+
+module Tests_q_rc_ebr =
+  Make_queue_tests
+    (Q_rc_ebr)
+    (struct
+      let label = "queue/RCEBR-weak"
+    end)
+
+module Tests_q_rc_hyaline =
+  Make_queue_tests
+    (Q_rc_hyaline)
+    (struct
+      let label = "queue/RCHyaline-weak"
+    end)
+
+module Tests_q_manual =
+  Make_queue_tests
+    (Q_manual)
+    (struct
+      let label = "queue/Original"
+    end)
+
+module Tests_q_locked =
+  Make_queue_tests
+    (Q_locked)
+    (struct
+      let label = "queue/locked"
+    end)
+
+let () =
+  Alcotest.run "ds"
+    [
+      ("list manual ebr", Tests_l_ebr.tests);
+      ("list manual hp", Tests_l_hp.tests);
+      ("list manual ibr", Tests_l_ibr.tests);
+      ("list manual hyaline", Tests_l_hyaline.tests);
+      ("list manual he", Tests_l_he.tests);
+      ("list rc ebr", Tests_lr_ebr.tests);
+      ("list rc hp", Tests_lr_hp.tests);
+      ("hash manual ebr", Tests_h_ebr.tests);
+      ("hash rc ebr", Tests_hr_ebr.tests);
+      ("tree manual ebr", Tests_t_ebr.tests);
+      ("tree manual hyaline", Tests_t_hyaline.tests);
+      ("tree rc ebr", Tests_tr_ebr.tests);
+      ("tree rc hp", Tests_tr_hp.tests);
+      ("tree rc ibr", Tests_tr_ibr.tests);
+      ("queue rc hp", Tests_q_rc_hp.tests);
+      ("queue rc ebr", Tests_q_rc_ebr.tests);
+      ("queue rc hyaline", Tests_q_rc_hyaline.tests);
+      ("queue original", Tests_q_manual.tests);
+      ("queue locked", Tests_q_locked.tests);
+    ]

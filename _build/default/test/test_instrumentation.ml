@@ -1,0 +1,146 @@
+(* Tests for the instrumentation and the small type-erasure modules:
+   snapshot fast/slow path accounting (the Fig 11 fallback mechanism),
+   weak-snapshot fallback under slot exhaustion, identity tokens, and
+   deferred-op plumbing. *)
+
+module Ident = Smr.Ident
+
+(* ---------------- Ident ---------------- *)
+
+let test_ident_identity () =
+  let a = ref 1 and b = ref 1 in
+  Alcotest.(check bool) "same object equal" true (Ident.equal (Ident.of_val a) (Ident.of_val a));
+  Alcotest.(check bool) "distinct objects differ" false
+    (Ident.equal (Ident.of_val a) (Ident.of_val b));
+  Alcotest.(check bool) "null is null" true (Ident.is_null Ident.null);
+  Alcotest.(check bool) "object is not null" false (Ident.is_null (Ident.of_val a));
+  Alcotest.(check bool) "null equals null" true (Ident.equal Ident.null Ident.null)
+
+let test_ident_stable_across_gc () =
+  let a = Array.make 10 0 in
+  let id = Ident.of_val a in
+  (* Force minor+major collections; physical identity must survive the
+     moving GC. *)
+  for _ = 1 to 5 do
+    ignore (Sys.opaque_identity (Array.make 10_000 0));
+    Gc.full_major ()
+  done;
+  Alcotest.(check bool) "identity stable across GC" true (Ident.equal id (Ident.of_val a))
+
+(* ---------------- Deferred ---------------- *)
+
+let test_deferred_run () =
+  let got = ref (-1) in
+  let op : Smr.Deferred.t = fun pid -> got := pid in
+  Smr.Deferred.run op ~pid:3;
+  Alcotest.(check int) "pid passed" 3 !got
+
+(* ---------------- snapshot_stats ---------------- *)
+
+module R_hp = Cdrc.Make (Smr.Hp)
+module R_ebr = Cdrc.Make (Smr.Ebr)
+
+let test_fast_path_counting () =
+  let rt = R_ebr.create ~max_threads:1 () in
+  let th = R_ebr.thread rt 0 in
+  R_ebr.critically th (fun () ->
+      let p = R_ebr.Shared.make th 1 in
+      let cell = R_ebr.Asp.make th (R_ebr.Shared.ptr p) in
+      for _ = 1 to 10 do
+        let s = R_ebr.Asp.get_snapshot th cell in
+        R_ebr.Snapshot.drop th s
+      done;
+      R_ebr.Shared.drop th p;
+      R_ebr.Asp.clear th cell);
+  let fast, slow = R_ebr.snapshot_stats rt in
+  Alcotest.(check int) "10 fast" 10 fast;
+  Alcotest.(check int) "0 slow (region scheme never exhausts)" 0 slow;
+  R_ebr.quiesce rt
+
+let test_slow_path_counting_on_exhaustion () =
+  (* 2 announcement slots: the first two snapshots are fast, the rest
+     spill to the count-increment slow path. *)
+  let rt = R_hp.create ~slots_per_thread:2 ~max_threads:1 () in
+  let th = R_hp.thread rt 0 in
+  R_hp.critically th (fun () ->
+      let p = R_hp.Shared.make th 1 in
+      let cell = R_hp.Asp.make th (R_hp.Shared.ptr p) in
+      let snaps = List.init 5 (fun _ -> R_hp.Asp.get_snapshot th cell) in
+      let protected_count =
+        List.length (List.filter R_hp.Snapshot.is_protected snaps)
+      in
+      Alcotest.(check int) "2 guard-protected" 2 protected_count;
+      let fast, slow = R_hp.snapshot_stats rt in
+      Alcotest.(check int) "fast count" 2 fast;
+      Alcotest.(check int) "slow count" 3 slow;
+      List.iter (R_hp.Snapshot.drop th) snaps;
+      R_hp.Shared.drop th p;
+      R_hp.Asp.clear th cell);
+  R_hp.quiesce rt
+
+let test_weak_snapshot_fallback_on_exhaustion () =
+  (* With 1 dispose slot, the second concurrent weak snapshot takes the
+     Fig 9 line 26 fallback (strong increment) and is not
+     guard-protected. *)
+  let rt = R_hp.create ~support_weak:true ~slots_per_thread:1 ~max_threads:1 () in
+  let th = R_hp.thread rt 0 in
+  R_hp.critically th (fun () ->
+      let p = R_hp.Shared.make th 9 in
+      let w = R_hp.Weak.of_shared th p in
+      let cell = R_hp.Awp.make th (R_hp.Weak.ptr w) in
+      let ws1 = R_hp.Awp.get_snapshot th cell in
+      let ws2 = R_hp.Awp.get_snapshot th cell in
+      Alcotest.(check bool) "first uses dispose guard" true
+        (R_hp.Weak_snapshot.is_protected ws1);
+      Alcotest.(check bool) "second fell back to an increment" false
+        (R_hp.Weak_snapshot.is_protected ws2);
+      (* Both must read the value regardless of path. *)
+      Alcotest.(check int) "ws1 reads" 9 (R_hp.Weak_snapshot.get ws1);
+      Alcotest.(check int) "ws2 reads" 9 (R_hp.Weak_snapshot.get ws2);
+      R_hp.Weak_snapshot.drop th ws1;
+      R_hp.Weak_snapshot.drop th ws2;
+      R_hp.Weak.drop th w;
+      R_hp.Shared.drop th p;
+      R_hp.Awp.clear th cell);
+  R_hp.quiesce rt;
+  Alcotest.(check int) "no leak" 0 (R_hp.live_objects rt)
+
+(* The driver surfaces the slow-path share for RC structures. *)
+let test_set_intf_snapshot_stats () =
+  let module T = Ds.Nm_tree_rc.Make (R_hp) in
+  let t = T.create ~slots_per_thread:2 ~max_threads:1 () in
+  let c = T.ctx t 0 in
+  for k = 1 to 200 do
+    ignore (T.insert c k)
+  done;
+  (* Deep range queries exhaust 2 slots constantly. *)
+  ignore (T.range_query c 0 200);
+  (match T.snapshot_stats t with
+  | Some (fast, slow) ->
+      Alcotest.(check bool) "counted" true (fast > 0);
+      Alcotest.(check bool) "slow path exercised" true (slow > 0)
+  | None -> Alcotest.fail "RC tree must report stats");
+  let module M = Ds.Nm_tree_manual.Make (Smr.Ebr) in
+  let m = M.create ~max_threads:1 () in
+  Alcotest.(check bool) "manual reports none" true (M.snapshot_stats m = None);
+  M.teardown m;
+  T.teardown t
+
+let () =
+  Alcotest.run "instrumentation"
+    [
+      ( "ident",
+        [
+          Alcotest.test_case "identity" `Quick test_ident_identity;
+          Alcotest.test_case "stable across GC" `Quick test_ident_stable_across_gc;
+        ] );
+      ("deferred", [ Alcotest.test_case "run" `Quick test_deferred_run ]);
+      ( "snapshot stats",
+        [
+          Alcotest.test_case "fast path counting" `Quick test_fast_path_counting;
+          Alcotest.test_case "slow path on exhaustion" `Quick test_slow_path_counting_on_exhaustion;
+          Alcotest.test_case "weak fallback on exhaustion" `Quick
+            test_weak_snapshot_fallback_on_exhaustion;
+          Alcotest.test_case "Set_intf stats" `Quick test_set_intf_snapshot_stats;
+        ] );
+    ]

@@ -1,0 +1,218 @@
+(* Linearizability checking: first the checker itself (accepts valid
+   histories, rejects invalid ones), then real recorded histories from
+   our concurrent structures — the Treiber stack, the weak-pointer
+   queue, and the HM list set — checked against their sequential
+   models over many randomized short runs. *)
+
+type stack_op = Push of int | Pop
+
+let stack_model st op =
+  match op with
+  | Push v -> (v :: st, None)
+  | Pop -> ( match st with [] -> ([], None) | x :: rest -> (rest, Some x))
+
+let pp_stack_op ppf = function
+  | Push v -> Format.fprintf ppf "push %d" v
+  | Pop -> Format.fprintf ppf "pop"
+
+let pp_res ppf = function
+  | None -> Format.fprintf ppf "None"
+  | Some v -> Format.fprintf ppf "Some %d" v
+
+let check_stack h =
+  Lincheck.check ~model:stack_model ~equal_res:( = ) ~init:[] h
+
+(* ---------------- checker unit tests ---------------- *)
+
+let ev thread op res inv ret = { Lincheck.thread; op; res; inv; ret }
+
+let test_accepts_sequential () =
+  (* push 1; pop -> 1 strictly ordered. *)
+  let h = [ ev 0 (Push 1) None 0 1; ev 0 Pop (Some 1) 2 3 ] in
+  Alcotest.(check bool) "valid" true (check_stack h)
+
+let test_accepts_overlapping_reorder () =
+  (* pop overlaps push and returns its value: only valid because they
+     overlap (pop linearizes after push). *)
+  let h = [ ev 0 (Push 7) None 0 3; ev 1 Pop (Some 7) 1 2 ] in
+  Alcotest.(check bool) "valid overlap" true (check_stack h)
+
+let test_rejects_causality_violation () =
+  (* pop returns 7 but COMPLETED before push 7 was invoked. *)
+  let h = [ ev 1 Pop (Some 7) 0 1; ev 0 (Push 7) None 2 3 ] in
+  Alcotest.(check bool) "invalid" false (check_stack h)
+
+let test_rejects_wrong_value () =
+  let h = [ ev 0 (Push 1) None 0 1; ev 0 Pop (Some 2) 2 3 ] in
+  Alcotest.(check bool) "wrong value" false (check_stack h)
+
+let test_rejects_double_pop () =
+  (* one push, two successful pops of the same value *)
+  let h =
+    [ ev 0 (Push 1) None 0 1; ev 0 Pop (Some 1) 2 3; ev 1 Pop (Some 1) 2 4 ]
+  in
+  Alcotest.(check bool) "double pop" false (check_stack h)
+
+let test_explain_renders () =
+  let h = [ ev 0 (Push 1) None 0 1; ev 0 Pop (Some 2) 2 3 ] in
+  match
+    Lincheck.check_or_explain ~model:stack_model ~equal_res:( = ) ~pp_op:pp_stack_op
+      ~pp_res ~init:[] h
+  with
+  | Ok () -> Alcotest.fail "expected rejection"
+  | Error msg ->
+      Alcotest.(check bool) "mentions history" true
+        (String.length msg > 0
+        && String.length msg >= 10
+        &&
+        let contains s sub =
+          let n = String.length sub in
+          let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        contains msg "push 1")
+
+(* ---------------- recorded histories from real structures --------- *)
+
+let record_stack_history (module R : Cdrc.Intf.S) seed =
+  let module St = Ds.Treiber_stack_rc.Make (R) in
+  let s = St.create ~max_threads:3 () in
+  let rec_ = Lincheck.Recorder.create () in
+  let worker pid () =
+    let c = St.ctx s pid in
+    let rng = Repro_util.Rng.create ~seed:(seed + pid) in
+    for i = 1 to 4 do
+      let v = (pid * 100) + i in
+      if Repro_util.Rng.bool rng then
+        ignore (Lincheck.Recorder.run rec_ ~thread:pid (Push v) (fun () -> St.push c v; None))
+      else ignore (Lincheck.Recorder.run rec_ ~thread:pid Pop (fun () -> St.pop c))
+    done;
+    St.flush c
+  in
+  let ds = List.init 3 (fun pid -> Domain.spawn (worker pid)) in
+  List.iter Domain.join ds;
+  St.teardown s;
+  Lincheck.Recorder.history rec_
+
+let test_stack_histories_linearizable () =
+  let module R = Cdrc.Make (Smr.Ebr) in
+  for seed = 1 to 30 do
+    let h = record_stack_history (module R) (seed * 131) in
+    match
+      Lincheck.check_or_explain ~model:stack_model ~equal_res:( = ) ~pp_op:pp_stack_op
+        ~pp_res ~init:[] h
+    with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "seed %d: %s" seed msg
+  done
+
+(* queue: enqueue/dequeue on the weak-pointer doubly-linked queue *)
+
+type q_op = Enq of int | Deq
+
+let queue_model st op =
+  match op with
+  | Enq v -> (st @ [ v ], None)
+  | Deq -> ( match st with [] -> ([], None) | x :: rest -> (rest, Some x))
+
+let pp_q_op ppf = function
+  | Enq v -> Format.fprintf ppf "enq %d" v
+  | Deq -> Format.fprintf ppf "deq"
+
+let test_queue_histories_linearizable () =
+  let module R = Cdrc.Make (Smr.Hp) in
+  let module Q = Ds.Dl_queue_rc.Make (R) in
+  for seed = 1 to 30 do
+    let q = Q.create ~max_threads:3 () in
+    let rec_ = Lincheck.Recorder.create () in
+    let worker pid () =
+      let c = Q.ctx q pid in
+      let rng = Repro_util.Rng.create ~seed:(seed + (pid * 7)) in
+      for i = 1 to 4 do
+        let v = (pid * 100) + i in
+        if Repro_util.Rng.bool rng then
+          ignore
+            (Lincheck.Recorder.run rec_ ~thread:pid (Enq v) (fun () -> Q.enqueue c v; None))
+        else ignore (Lincheck.Recorder.run rec_ ~thread:pid Deq (fun () -> Q.dequeue c))
+      done;
+      Q.flush c
+    in
+    let ds = List.init 3 (fun pid -> Domain.spawn (worker pid)) in
+    List.iter Domain.join ds;
+    Q.teardown q;
+    match
+      Lincheck.check_or_explain ~model:queue_model ~equal_res:( = ) ~pp_op:pp_q_op ~pp_res
+        ~init:[] (Lincheck.Recorder.history rec_)
+    with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "seed %d: %s" seed msg
+  done
+
+(* set: insert/remove/contains on the HM list (RC version) *)
+
+type set_op = Ins of int | Rem of int | Mem of int
+
+module IntSet = Set.Make (Int)
+
+let set_model st op =
+  match op with
+  | Ins k -> (IntSet.add k st, not (IntSet.mem k st))
+  | Rem k -> (IntSet.remove k st, IntSet.mem k st)
+  | Mem k -> (st, IntSet.mem k st)
+
+let pp_set_op ppf = function
+  | Ins k -> Format.fprintf ppf "ins %d" k
+  | Rem k -> Format.fprintf ppf "rem %d" k
+  | Mem k -> Format.fprintf ppf "mem %d" k
+
+let pp_bool ppf b = Format.fprintf ppf "%b" b
+
+let test_set_histories_linearizable () =
+  let module R = Cdrc.Make (Smr.Ibr) in
+  let module L = Ds.Hm_list_rc.Make (R) in
+  for seed = 1 to 30 do
+    let l = L.create ~max_threads:3 () in
+    let rec_ = Lincheck.Recorder.create () in
+    let worker pid () =
+      let c = L.ctx l pid in
+      let rng = Repro_util.Rng.create ~seed:(seed + (pid * 13)) in
+      for _ = 1 to 4 do
+        let k = Repro_util.Rng.int rng 3 in
+        match Repro_util.Rng.int rng 3 with
+        | 0 -> ignore (Lincheck.Recorder.run rec_ ~thread:pid (Ins k) (fun () -> L.insert c k))
+        | 1 -> ignore (Lincheck.Recorder.run rec_ ~thread:pid (Rem k) (fun () -> L.remove c k))
+        | _ -> ignore (Lincheck.Recorder.run rec_ ~thread:pid (Mem k) (fun () -> L.contains c k))
+      done;
+      L.flush c
+    in
+    let ds = List.init 3 (fun pid -> Domain.spawn (worker pid)) in
+    List.iter Domain.join ds;
+    L.teardown l;
+    match
+      Lincheck.check_or_explain ~model:set_model ~equal_res:( = ) ~pp_op:pp_set_op
+        ~pp_res:pp_bool ~init:IntSet.empty
+        (Lincheck.Recorder.history rec_)
+    with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "seed %d: %s" seed msg
+  done
+
+let () =
+  Alcotest.run "lincheck"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "accepts sequential" `Quick test_accepts_sequential;
+          Alcotest.test_case "accepts overlap reorder" `Quick test_accepts_overlapping_reorder;
+          Alcotest.test_case "rejects causality violation" `Quick test_rejects_causality_violation;
+          Alcotest.test_case "rejects wrong value" `Quick test_rejects_wrong_value;
+          Alcotest.test_case "rejects double pop" `Quick test_rejects_double_pop;
+          Alcotest.test_case "explain renders" `Quick test_explain_renders;
+        ] );
+      ( "recorded histories",
+        [
+          Alcotest.test_case "stack (RCEBR)" `Slow test_stack_histories_linearizable;
+          Alcotest.test_case "queue (RCHP-weak)" `Slow test_queue_histories_linearizable;
+          Alcotest.test_case "set (RCIBR list)" `Slow test_set_histories_linearizable;
+        ] );
+    ]

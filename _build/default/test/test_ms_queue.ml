@@ -1,0 +1,208 @@
+(* Michael-Scott queue tests: FIFO against a model, conservation under
+   contention, per-producer ordering, and leak freedom — across manual
+   schemes and RC conversions. *)
+
+module Make_tests (Q : sig
+  val name : string [@@warning "-32"]
+
+  type t
+  type ctx
+
+  val create : ?slots_per_thread:int -> ?epoch_freq:int -> max_threads:int -> unit -> t
+  val ctx : t -> int -> ctx
+  val enqueue : ctx -> int -> unit
+  val dequeue : ctx -> int option
+  val flush : ctx -> unit
+  val live_objects : t -> int
+  val teardown : t -> unit
+end) (L : sig
+  val label : string
+end) =
+struct
+  let t name speed f = Alcotest.test_case (L.label ^ ": " ^ name) speed f
+
+  let fifo_model () =
+    let q = Q.create ~max_threads:1 () in
+    let c = Q.ctx q 0 in
+    let model = Queue.create () in
+    let rng = Repro_util.Rng.create ~seed:4242 in
+    Alcotest.(check (option int)) "empty" None (Q.dequeue c);
+    for i = 1 to 3_000 do
+      if Repro_util.Rng.bool rng then begin
+        Q.enqueue c i;
+        Queue.push i model
+      end
+      else Alcotest.(check (option int)) "fifo agrees" (Queue.take_opt model) (Q.dequeue c)
+    done;
+    let rec drain () =
+      let expected = Queue.take_opt model in
+      let got = Q.dequeue c in
+      Alcotest.(check (option int)) "drain agrees" expected got;
+      if got <> None then drain ()
+    in
+    drain ();
+    Q.flush c;
+    Q.teardown q;
+    Alcotest.(check int) "leak free" 0 (Q.live_objects q)
+
+  let conservation () =
+    let p = 4 in
+    let q = Q.create ~max_threads:(p + 1) () in
+    let c0 = Q.ctx q 0 in
+    for i = 1 to p * 4 do
+      Q.enqueue c0 i
+    done;
+    let failures = Atomic.make 0 in
+    let worker pid () =
+      let c = Q.ctx q (pid + 1) in
+      try
+        for _ = 1 to 4_000 do
+          match Q.dequeue c with Some v -> Q.enqueue c v | None -> ()
+        done;
+        Q.flush c
+      with e ->
+        ignore (Atomic.fetch_and_add failures 1);
+        Printf.eprintf "[%s msq %d] %s\n%!" L.label pid (Printexc.to_string e)
+    in
+    let ds = List.init p (fun pid -> Domain.spawn (worker pid)) in
+    List.iter Domain.join ds;
+    Alcotest.(check int) "no failures" 0 (Atomic.get failures);
+    let rec drain acc = match Q.dequeue c0 with Some v -> drain (v :: acc) | None -> acc in
+    Alcotest.(check (list int)) "conserved"
+      (List.init (p * 4) (fun i -> i + 1))
+      (List.sort compare (drain []));
+    Q.flush c0;
+    Q.teardown q;
+    Alcotest.(check int) "leak free" 0 (Q.live_objects q)
+
+  let per_producer_order () =
+    let q = Q.create ~max_threads:3 () in
+    let n = 1_500 in
+    let producer pid () =
+      let c = Q.ctx q pid in
+      for i = 0 to n - 1 do
+        Q.enqueue c ((pid * 1_000_000) + i)
+      done;
+      Q.flush c
+    in
+    let consumer () =
+      let c = Q.ctx q 2 in
+      let seen = Array.make 2 (-1) in
+      let got = ref 0 in
+      let ok = ref true in
+      while !got < 2 * n do
+        match Q.dequeue c with
+        | None -> Domain.cpu_relax ()
+        | Some v ->
+            incr got;
+            let pid = v / 1_000_000 in
+            let i = v mod 1_000_000 in
+            if i <= seen.(pid) then ok := false;
+            seen.(pid) <- i
+      done;
+      Q.flush c;
+      !ok
+    in
+    let p1 = Domain.spawn (producer 0) in
+    let p2 = Domain.spawn (producer 1) in
+    let cons = Domain.spawn consumer in
+    Domain.join p1;
+    Domain.join p2;
+    Alcotest.(check bool) "per-producer order" true (Domain.join cons);
+    Q.teardown q;
+    Alcotest.(check int) "leak free" 0 (Q.live_objects q)
+
+  let tests =
+    [
+      t "fifo vs model" `Quick fifo_model;
+      t "conservation" `Slow conservation;
+      t "per-producer order" `Slow per_producer_order;
+    ]
+end
+
+module M_ebr = Ds.Ms_queue_manual.Make (Smr.Ebr)
+module M_hp = Ds.Ms_queue_manual.Make (Smr.Hp)
+module M_ibr = Ds.Ms_queue_manual.Make (Smr.Ibr)
+module M_hyaline = Ds.Ms_queue_manual.Make (Smr.Hyaline)
+module M_he = Ds.Ms_queue_manual.Make (Smr.Hazard_eras)
+module M_ptb = Ds.Ms_queue_manual.Make (Smr.Ptb)
+module Mr_ebr = Ds.Ms_queue_rc.Make (Cdrc.Make (Smr.Ebr))
+module Mr_hp = Ds.Ms_queue_rc.Make (Cdrc.Make (Smr.Hp))
+module Mr_ibr = Ds.Ms_queue_rc.Make (Cdrc.Make (Smr.Ibr))
+
+module T_m_ebr =
+  Make_tests
+    (M_ebr)
+    (struct
+      let label = "msq/EBR"
+    end)
+
+module T_m_hp =
+  Make_tests
+    (M_hp)
+    (struct
+      let label = "msq/HP"
+    end)
+
+module T_m_ibr =
+  Make_tests
+    (M_ibr)
+    (struct
+      let label = "msq/IBR"
+    end)
+
+module T_m_hyaline =
+  Make_tests
+    (M_hyaline)
+    (struct
+      let label = "msq/Hyaline"
+    end)
+
+module T_m_he =
+  Make_tests
+    (M_he)
+    (struct
+      let label = "msq/HE"
+    end)
+
+module T_m_ptb =
+  Make_tests
+    (M_ptb)
+    (struct
+      let label = "msq/PTB"
+    end)
+
+module T_mr_ebr =
+  Make_tests
+    (Mr_ebr)
+    (struct
+      let label = "msq/RCEBR"
+    end)
+
+module T_mr_hp =
+  Make_tests
+    (Mr_hp)
+    (struct
+      let label = "msq/RCHP"
+    end)
+
+module T_mr_ibr =
+  Make_tests
+    (Mr_ibr)
+    (struct
+      let label = "msq/RCIBR"
+    end)
+
+let () =
+  Alcotest.run "ms_queue"
+    [
+      ("ebr", T_m_ebr.tests);
+      ("hp", T_m_hp.tests);
+      ("ibr", T_m_ibr.tests);
+      ("hyaline", T_m_hyaline.tests);
+      ("he", T_m_he.tests);
+      ("ptb", T_m_ptb.tests);
+      ("rcebr", T_mr_ebr.tests);
+      ("rchp", T_mr_hp.tests);
+      ("rcibr", T_mr_ibr.tests);
+    ]

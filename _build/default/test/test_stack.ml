@@ -1,0 +1,197 @@
+(* Treiber stack tests (manual across schemes + RC), plus the Leaky
+   baseline scheme's semantics: nothing reclaims until teardown. *)
+
+module Make_tests (St : sig
+  val name : string [@@warning "-32"]
+
+  type t
+  type ctx
+
+  val create : ?slots_per_thread:int -> ?epoch_freq:int -> max_threads:int -> unit -> t
+  val ctx : t -> int -> ctx
+  val push : ctx -> int -> unit
+  val pop : ctx -> int option
+  val flush : ctx -> unit
+  val size : t -> int
+  val live_objects : t -> int
+  val teardown : t -> unit
+end) (L : sig
+  val label : string
+end) =
+struct
+  let t name speed f = Alcotest.test_case (L.label ^ ": " ^ name) speed f
+
+  let lifo_order () =
+    let s = St.create ~max_threads:1 () in
+    let c = St.ctx s 0 in
+    Alcotest.(check (option int)) "empty pop" None (St.pop c);
+    for i = 1 to 50 do
+      St.push c i
+    done;
+    Alcotest.(check int) "size" 50 (St.size s);
+    for i = 50 downto 1 do
+      Alcotest.(check (option int)) "lifo" (Some i) (St.pop c)
+    done;
+    Alcotest.(check (option int)) "empty again" None (St.pop c);
+    St.flush c;
+    St.teardown s;
+    Alcotest.(check int) "leak free" 0 (St.live_objects s)
+
+  let random_vs_model () =
+    let s = St.create ~max_threads:1 () in
+    let c = St.ctx s 0 in
+    let model = ref [] in
+    let rng = Repro_util.Rng.create ~seed:77 in
+    for i = 1 to 3_000 do
+      if Repro_util.Rng.bool rng then begin
+        St.push c i;
+        model := i :: !model
+      end
+      else begin
+        let expected = match !model with [] -> None | x :: rest -> (model := rest; Some x) in
+        Alcotest.(check (option int)) "pop agrees" expected (St.pop c)
+      end
+    done;
+    Alcotest.(check int) "size agrees" (List.length !model) (St.size s);
+    St.flush c;
+    St.teardown s;
+    Alcotest.(check int) "leak free" 0 (St.live_objects s)
+
+  let concurrent_conservation () =
+    let p = 4 in
+    let per = 2_000 in
+    let s = St.create ~max_threads:p () in
+    let popped = Array.make p [] in
+    let failures = Atomic.make 0 in
+    let worker pid () =
+      let c = St.ctx s pid in
+      try
+        for i = 0 to per - 1 do
+          St.push c ((pid * per) + i);
+          if i land 1 = 0 then
+            match St.pop c with
+            | Some v -> popped.(pid) <- v :: popped.(pid)
+            | None -> ()
+        done;
+        St.flush c
+      with e ->
+        ignore (Atomic.fetch_and_add failures 1);
+        Printf.eprintf "[%s stack %d] %s\n%!" L.label pid (Printexc.to_string e)
+    in
+    let ds = List.init p (fun pid -> Domain.spawn (worker pid)) in
+    List.iter Domain.join ds;
+    Alcotest.(check int) "no failures" 0 (Atomic.get failures);
+    (* Drain the remainder; the multiset of all values must be exactly
+       the pushed set. *)
+    let c0 = St.ctx s 0 in
+    let rec drain acc = match St.pop c0 with Some v -> drain (v :: acc) | None -> acc in
+    let leftovers = drain [] in
+    let all = List.sort compare (leftovers @ List.concat (Array.to_list popped)) in
+    let expected = List.init (p * per) Fun.id in
+    Alcotest.(check (list int)) "conserved" expected all;
+    St.flush c0;
+    St.teardown s;
+    Alcotest.(check int) "leak free" 0 (St.live_objects s)
+
+  let tests =
+    [
+      t "lifo order" `Quick lifo_order;
+      t "random vs model" `Quick random_vs_model;
+      t "concurrent conservation" `Slow concurrent_conservation;
+    ]
+end
+
+module S_ebr = Ds.Treiber_stack_manual.Make (Smr.Ebr)
+module S_hp = Ds.Treiber_stack_manual.Make (Smr.Hp)
+module S_ibr = Ds.Treiber_stack_manual.Make (Smr.Ibr)
+module S_hyaline = Ds.Treiber_stack_manual.Make (Smr.Hyaline)
+module S_he = Ds.Treiber_stack_manual.Make (Smr.Hazard_eras)
+module S_leaky = Ds.Treiber_stack_manual.Make (Smr.Leaky)
+module Sr_ebr = Ds.Treiber_stack_rc.Make (Cdrc.Make (Smr.Ebr))
+module Sr_hp = Ds.Treiber_stack_rc.Make (Cdrc.Make (Smr.Hp))
+
+module T_s_ebr =
+  Make_tests
+    (S_ebr)
+    (struct
+      let label = "stack/EBR"
+    end)
+
+module T_s_hp =
+  Make_tests
+    (S_hp)
+    (struct
+      let label = "stack/HP"
+    end)
+
+module T_s_ibr =
+  Make_tests
+    (S_ibr)
+    (struct
+      let label = "stack/IBR"
+    end)
+
+module T_s_hyaline =
+  Make_tests
+    (S_hyaline)
+    (struct
+      let label = "stack/Hyaline"
+    end)
+
+module T_s_he =
+  Make_tests
+    (S_he)
+    (struct
+      let label = "stack/HE"
+    end)
+
+module T_s_leaky =
+  Make_tests
+    (S_leaky)
+    (struct
+      let label = "stack/None"
+    end)
+
+module T_sr_ebr =
+  Make_tests
+    (Sr_ebr)
+    (struct
+      let label = "stack/RCEBR"
+    end)
+
+module T_sr_hp =
+  Make_tests
+    (Sr_hp)
+    (struct
+      let label = "stack/RCHP"
+    end)
+
+(* Leaky-specific semantics: retired nodes stay resident until
+   teardown. *)
+let test_leaky_retains () =
+  let s = S_leaky.create ~max_threads:1 () in
+  let c = S_leaky.ctx s 0 in
+  for i = 1 to 100 do
+    S_leaky.push c i
+  done;
+  for _ = 1 to 100 do
+    ignore (S_leaky.pop c)
+  done;
+  S_leaky.flush c;
+  (* Everything popped was retired but never reclaimed. *)
+  Alcotest.(check int) "retained" 100 (S_leaky.live_objects s);
+  S_leaky.teardown s;
+  Alcotest.(check int) "teardown reclaims" 0 (S_leaky.live_objects s)
+
+let () =
+  Alcotest.run "stack"
+    [
+      ("ebr", T_s_ebr.tests);
+      ("hp", T_s_hp.tests);
+      ("ibr", T_s_ibr.tests);
+      ("hyaline", T_s_hyaline.tests);
+      ("he", T_s_he.tests);
+      ("leaky", T_s_leaky.tests @ [ Alcotest.test_case "None retains until teardown" `Quick test_leaky_retains ]);
+      ("rcebr", T_sr_ebr.tests);
+      ("rchp", T_sr_hp.tests);
+    ]

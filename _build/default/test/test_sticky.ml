@@ -1,0 +1,206 @@
+(* Tests for the sticky counters: the wait-free implementation of
+   Fig 7 and the CAS-loop baseline, checked against a sequential model
+   (qcheck) and under real parallelism (exactly-one-death-credit). *)
+
+module Sc = Sticky.Sticky_counter
+module Cc = Sticky.Casloop_counter
+
+(* ---------------- sequential unit tests, shared by both impls ------- *)
+
+module Make_unit (C : Sticky.Counter_intf.S) (N : sig
+  val label : string
+end) =
+struct
+  let t name f = Alcotest.test_case (N.label ^ ": " ^ name) `Quick f
+
+  let basic () =
+    let c = C.create 1 in
+    Alcotest.(check int) "load 1" 1 (C.load c);
+    Alcotest.(check bool) "inc ok" true (C.increment_if_not_zero c);
+    Alcotest.(check int) "load 2" 2 (C.load c);
+    Alcotest.(check bool) "dec not zero" false (C.decrement c);
+    Alcotest.(check int) "load 1 again" 1 (C.load c);
+    Alcotest.(check bool) "dec to zero" true (C.decrement c);
+    Alcotest.(check int) "load 0" 0 (C.load c);
+    Alcotest.(check bool) "is_zero" true (C.is_zero c)
+
+  let sticky_after_zero () =
+    let c = C.create 1 in
+    Alcotest.(check bool) "dec to zero" true (C.decrement c);
+    (* Once dead, always dead: increments must fail forever. *)
+    for _ = 1 to 10 do
+      Alcotest.(check bool) "inc fails" false (C.increment_if_not_zero c);
+      Alcotest.(check int) "still zero" 0 (C.load c)
+    done
+
+  let created_at_zero_is_dead () =
+    let c = C.create 0 in
+    Alcotest.(check int) "load 0" 0 (C.load c);
+    Alcotest.(check bool) "inc fails" false (C.increment_if_not_zero c)
+
+  let create_negative_rejected () =
+    match C.create (-1) with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+
+  let many_increments () =
+    let c = C.create 1 in
+    for i = 2 to 1000 do
+      Alcotest.(check bool) "inc" true (C.increment_if_not_zero c);
+      Alcotest.(check int) "count" i (C.load c)
+    done;
+    for i = 999 downto 1 do
+      Alcotest.(check bool) "dec" false (C.decrement c);
+      Alcotest.(check int) "count" i (C.load c)
+    done;
+    Alcotest.(check bool) "final dec" true (C.decrement c)
+
+  let tests =
+    [
+      t "basic" basic;
+      t "sticky after zero" sticky_after_zero;
+      t "created at zero" created_at_zero_is_dead;
+      t "negative rejected" create_negative_rejected;
+      t "many increments" many_increments;
+    ]
+end
+
+module Unit_sticky =
+  Make_unit
+    (Sc)
+    (struct
+      let label = "sticky"
+    end)
+
+module Unit_casloop =
+  Make_unit
+    (Cc)
+    (struct
+      let label = "casloop"
+    end)
+
+(* ---------------- qcheck: random op sequences vs a model ------------ *)
+
+type op = Inc | Dec | Load
+
+let op_gen = QCheck2.Gen.oneofl [ Inc; Dec; Load ]
+
+(* The model: an int that sticks at zero. A Dec is only legal when the
+   model count is >= 1 (callers own a unit), so illegal Decs are
+   skipped, mirroring the library precondition. *)
+let model_check ops =
+  let c = Sc.create 1 in
+  let model = ref 1 in
+  let dead = ref false in
+  List.for_all
+    (fun op ->
+      match op with
+      | Inc ->
+          let expected = (not !dead) && !model > 0 in
+          let got = Sc.increment_if_not_zero c in
+          if got then incr model;
+          got = expected
+      | Dec ->
+          if !model = 0 then true (* skip: precondition violation *)
+          else begin
+            decr model;
+            let expected_dead = !model = 0 in
+            let got = Sc.decrement c in
+            if expected_dead then dead := true;
+            got = expected_dead
+          end
+      | Load -> Sc.load c = !model)
+    ops
+
+let qcheck_sequential =
+  QCheck2.Test.make ~name:"sticky matches sequential model" ~count:2000
+    QCheck2.Gen.(list_size (int_range 0 60) op_gen)
+    model_check
+
+(* ---------------- parallel stress ----------------------------------- *)
+
+(* P domains each own one unit of the count and drop it after a burst
+   of inc/dec pairs; exactly one decrement overall must report
+   bringing the counter to zero. *)
+let parallel_one_death (module C : Sticky.Counter_intf.S) () =
+  for _round = 1 to 50 do
+    let p = 4 in
+    let c = C.create p in
+    let deaths = Atomic.make 0 in
+    let domains =
+      List.init p (fun _ ->
+          Domain.spawn (fun () ->
+              for _ = 1 to 100 do
+                if C.increment_if_not_zero c then
+                  if C.decrement c then ignore (Atomic.fetch_and_add deaths 1)
+              done;
+              (* drop our owned unit *)
+              if C.decrement c then ignore (Atomic.fetch_and_add deaths 1)))
+    in
+    List.iter Domain.join domains;
+    Alcotest.(check int) "exactly one death" 1 (Atomic.get deaths);
+    Alcotest.(check int) "count is zero" 0 (C.load c);
+    Alcotest.(check bool) "stuck" false (C.increment_if_not_zero c)
+  done
+
+(* Loads racing a death must return a value consistent with
+   linearizability: once a load returns 0, every later load returns 0. *)
+let parallel_load_monotone_death () =
+  for _round = 1 to 50 do
+    let c = Sc.create 1 in
+    let saw_zero_then_nonzero = Atomic.make false in
+    let reader =
+      Domain.spawn (fun () ->
+          let seen_zero = ref false in
+          for _ = 1 to 1000 do
+            let v = Sc.load c in
+            if v = 0 then seen_zero := true
+            else if !seen_zero then Atomic.set saw_zero_then_nonzero true
+          done)
+    in
+    let killer = Domain.spawn (fun () -> ignore (Sc.decrement c)) in
+    Domain.join reader;
+    Domain.join killer;
+    Alcotest.(check bool) "zero is final" false (Atomic.get saw_zero_then_nonzero)
+  done
+
+(* Helped-death protocol: a load that observes a mid-flight decrement
+   helps announce the death; the decrement must still claim exactly one
+   credit. This targets the help-flag path of Fig 7. *)
+let parallel_load_vs_decrement () =
+  for _round = 1 to 200 do
+    let c = Sc.create 1 in
+    let death = Atomic.make 0 in
+    let loader = Domain.spawn (fun () -> Array.init 50 (fun _ -> Sc.load c)) in
+    let killer =
+      Domain.spawn (fun () -> if Sc.decrement c then ignore (Atomic.fetch_and_add death 1))
+    in
+    let loads = Domain.join loader in
+    Domain.join killer;
+    Alcotest.(check int) "one death credit" 1 (Atomic.get death);
+    (* All loads are 0 or 1, and non-increasing. *)
+    let ok = ref true in
+    let prev = ref max_int in
+    Array.iter
+      (fun v ->
+        if v > !prev || v > 1 then ok := false;
+        prev := v)
+      loads;
+    Alcotest.(check bool) "loads monotone non-increasing" true !ok
+  done
+
+let () =
+  Alcotest.run "sticky"
+    [
+      ("unit", Unit_sticky.tests @ Unit_casloop.tests);
+      ("qcheck", [ QCheck_alcotest.to_alcotest qcheck_sequential ]);
+      ( "parallel",
+        [
+          Alcotest.test_case "one death credit (sticky)" `Slow
+            (parallel_one_death (module Sc));
+          Alcotest.test_case "one death credit (casloop)" `Slow
+            (parallel_one_death (module Cc));
+          Alcotest.test_case "load monotone at death" `Slow parallel_load_monotone_death;
+          Alcotest.test_case "load vs decrement helping" `Slow parallel_load_vs_decrement;
+        ] );
+    ]
