@@ -78,6 +78,27 @@ let ext_stack_cmd =
     (Cmd.info "ext-stack" ~doc:"Extension: Treiber stack across every scheme")
     Term.(const run $ threads_arg $ duration_arg)
 
+let robustness_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) (Some "results/robustness.txt")
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"CSV output path (empty string disables).")
+  in
+  let run duration schemes out =
+    let out = match out with Some "" -> None | o -> o in
+    (match out with
+    | Some path -> (try Unix.mkdir (Filename.dirname path) 0o755 with Unix.Unix_error _ -> ())
+    | None -> ());
+    ignore (Workload.Experiments.run_robustness ~duration ~schemes ?out ())
+  in
+  Cmd.v
+    (Cmd.info "robustness"
+       ~doc:
+         "Fault injection: garbage growth under one stalled thread, and recovery via \
+          abandon")
+    Term.(const run $ duration_arg $ schemes_arg $ out_arg)
+
 let custom_cmd =
   let structure_arg =
     let structure_conv =
@@ -136,6 +157,9 @@ let () =
   in
   let cmds =
     List.map run_set_exp_cmd Workload.Experiments.set_experiments
-    @ [ fig12_cmd; abl_sticky_cmd; abl_epochfreq_cmd; abl_hpslots_cmd; ext_stack_cmd; custom_cmd ]
+    @ [
+        fig12_cmd; abl_sticky_cmd; abl_epochfreq_cmd; abl_hpslots_cmd; ext_stack_cmd;
+        robustness_cmd; custom_cmd;
+      ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -37,8 +37,13 @@ module Make (S : Smr.Smr_intf.S) = struct
   let heap t = t.heap
   let max_threads t = S.max_threads t.smr
 
+  (* The hook runs strictly before the heap allocation: if it raises
+     (fault injection crashing the thread), no block exists yet and
+     nothing can leak. *)
   let alloc t ~pid value =
-    { value; birth = S.alloc_hook t.smr ~pid; block = Simheap.alloc t.heap }
+    let birth = S.alloc_hook t.smr ~pid in
+    let block = Simheap.alloc t.heap in
+    { value; birth; block }
 
   let get (m : _ managed) =
     Simheap.check_live m.block;
@@ -113,6 +118,67 @@ module Make (S : Smr.Smr_intf.S) = struct
           go ()
     in
     go ()
+
+  (** Crash recovery: reap [pid]'s scheme state (close its critical
+      section, clear announcements, orphan its retired entries for
+      adoption). Call once, after the thread has truly stopped. *)
+  let abandon t ~pid = S.abandon t.smr ~pid
+
+  (** {2 Epoch watchdog}
+
+      Detects the paper's §2 pathology at runtime: a thread stalled
+      inside a critical section pins the scheme's reclamation frontier,
+      and for a protected-region scheme like EBR {e all} garbage
+      retired since then accumulates behind it. The watchdog samples
+      (frontier, total pending retired entries) and reports [Stuck]
+      once the frontier has sat still across [threshold] consecutive
+      checks while the backlog grew by more than [slack] entries since
+      the frontier last moved — the supervisor's cue to find the
+      stalled thread and [abandon] it. The [slack] absorbs the sawtooth
+      of amortized eject scans, so a healthy bounded-garbage scheme
+      (IBR with one stalled thread: frontier pinned but backlog capped)
+      doesn't trip it. Schemes without a global clock (HP, PTB,
+      Hyaline) never report stuck: their garbage is already bounded per
+      stalled thread. *)
+
+  type watchdog = {
+    threshold : int;
+    slack : int;
+    mutable last_frontier : int;
+    mutable baseline : int; (* pending when the frontier last moved *)
+    mutable strikes : int;
+  }
+
+  type watchdog_verdict = Progressing | Stuck of { frontier : int; pending : int }
+
+  let watchdog ?(threshold = 3) ?(slack = 256) () =
+    { threshold; slack; last_frontier = min_int; baseline = max_int; strikes = 0 }
+
+  let total_pending t =
+    let n = S.max_threads t.smr in
+    let acc = ref 0 in
+    for pid = 0 to n - 1 do
+      acc := !acc + S.retired_count t.smr ~pid
+    done;
+    !acc
+
+  let watchdog_check t (w : watchdog) =
+    match S.reclamation_frontier t.smr with
+    | None -> Progressing
+    | Some frontier ->
+        let pending = total_pending t in
+        if frontier <> w.last_frontier then begin
+          w.last_frontier <- frontier;
+          w.baseline <- pending;
+          w.strikes <- 0;
+          Progressing
+        end
+        else begin
+          w.strikes <- w.strikes + 1;
+          if w.strikes >= w.threshold && pending >= w.baseline + w.slack then
+            Stuck { frontier; pending }
+          else Progressing
+        end
 
   (** Teardown at quiescence: apply every pending deferred operation,
       including cascades. Requires no concurrent activity. *)

@@ -17,12 +17,16 @@ module Make (S : Smr.Smr_intf.S) = struct
   type node = { value : int; next : node Ar.managed option }
 
   type t = { ar : Ar.t; top : node Ar.managed option Atomic.t }
-  type ctx = { t : t; pid : int }
+  type ctx = { t : t; pid : int; bo : Repro_util.Backoff.t }
 
   let create ?slots_per_thread ?epoch_freq ~max_threads () =
     { ar = Ar.create ?slots_per_thread ?epoch_freq ~max_threads (); top = Atomic.make None }
 
-  let ctx t pid = { t; pid }
+  (* Jittered backoff (seeded per thread) for the slot-exhaustion
+     retry: threads that run out of HP/HE announcement slots together
+     must not retry in lockstep. *)
+  let ctx t pid =
+    { t; pid; bo = Repro_util.Backoff.create ~rng:(Repro_util.Rng.create ~seed:(0x5eed + pid)) () }
   let ident_of = function None -> Ident.null | Some m -> Ident.of_val m
 
   let rec link_cas cell expected desired =
@@ -53,11 +57,20 @@ module Make (S : Smr.Smr_intf.S) = struct
   let pop c =
     Ar.begin_critical_section c.t.ar ~pid:c.pid;
     let smr = Ar.smr c.t.ar in
-    let rec go () =
+    let rec go ?(attempts = 0) () =
       let v0 = Atomic.get c.t.top in
       match S.try_acquire smr ~pid:c.pid (ident_of v0) with
-      | None -> failwith "treiber_stack: out of announcement slots"
+      | None ->
+          (* Slots exhausted (HP/HE): back off with jitter and retry —
+             a concurrent releaser or a woken stalled guard may free
+             one — before declaring the budget truly blown. *)
+          if attempts >= 16 then failwith "treiber_stack: out of announcement slots"
+          else begin
+            Repro_util.Backoff.once c.bo;
+            go ~attempts:(attempts + 1) ()
+          end
       | Some g ->
+          Repro_util.Backoff.reset c.bo;
           let rec settle () =
             let v = Atomic.get c.t.top in
             if S.confirm smr ~pid:c.pid g (ident_of v) then v else settle ()
@@ -90,6 +103,9 @@ module Make (S : Smr.Smr_intf.S) = struct
     r
 
   let flush c = Ar.drain c.t.ar ~pid:c.pid
+
+  (** Reap a crashed thread's scheme state (see {!Acquire_retire}). *)
+  let abandon t ~pid = Ar.abandon t.ar ~pid
 
   (* Quiescent helpers *)
   let size t =

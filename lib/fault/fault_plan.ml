@@ -1,0 +1,152 @@
+type site = On_begin_cs | On_confirm | On_retire | On_eject | On_alloc
+type action = Stall of int | Delay of int | Crash | Drop_eject of int
+type rule = { site : site; pid : int option; at : int; action : action }
+
+exception Crashed of int
+
+type event = {
+  ev_step : int;
+  ev_site : site;
+  ev_pid : int;
+  ev_hit : int;
+  ev_action : action;
+}
+
+(* Per-site, per-pid state is owner-thread only (each pid bumps its own
+   counters); the step clock, stall deadlines and the trace are shared
+   and atomic. A fixed pid capacity keeps everything allocation-free on
+   the injection path. *)
+let max_pids = 128
+let n_sites = 5
+
+let site_index = function
+  | On_begin_cs -> 0
+  | On_confirm -> 1
+  | On_retire -> 2
+  | On_eject -> 3
+  | On_alloc -> 4
+
+type t = {
+  rules : rule list;
+  hits : int array array; (* site x pid, owner-pid only *)
+  step : int Atomic.t; (* global fault clock: ticks on every hit *)
+  stalled_until : int Atomic.t array; (* step deadline; 0 = running, max_int = until resumed *)
+  crashed : bool array;
+  drop_budget : int array; (* owner-pid only *)
+  trace : event list Atomic.t;
+}
+
+let create rules =
+  List.iter
+    (fun r ->
+      if r.at < 1 then invalid_arg "Fault_plan.create: rule hit counts start at 1";
+      match r.pid with
+      | Some p when p < 0 || p >= max_pids -> invalid_arg "Fault_plan.create: pid out of range"
+      | _ -> ())
+    rules;
+  {
+    rules;
+    hits = Array.init n_sites (fun _ -> Array.make max_pids 0);
+    step = Atomic.make 0;
+    stalled_until = Array.init max_pids (fun _ -> Atomic.make 0);
+    crashed = Array.make max_pids false;
+    drop_budget = Array.make max_pids 0;
+    trace = Atomic.make [];
+  }
+
+let none () = create []
+
+let now t = Atomic.get t.step
+let stalled t ~pid = Atomic.get t.stalled_until.(pid) > Atomic.get t.step
+let crashed t ~pid = t.crashed.(pid)
+let resume t ~pid = Atomic.set t.stalled_until.(pid) 0
+
+let rec record t ev =
+  let cur = Atomic.get t.trace in
+  if not (Atomic.compare_and_set t.trace cur (ev :: cur)) then record t ev
+
+let trace t =
+  List.sort (fun a b -> compare a.ev_step b.ev_step) (Atomic.get t.trace)
+
+(** Called by the wrapper on every injection site. Ticks the clock,
+    counts the (site, pid) hit, and fires the first matching rule —
+    recording it in the trace and updating stall/crash/drop
+    bookkeeping. Raises {!Crashed} if the pid already crashed: a dead
+    thread must not reach the scheme again. *)
+let hit t site ~pid =
+  if t.crashed.(pid) then raise (Crashed pid);
+  let step = 1 + Atomic.fetch_and_add t.step 1 in
+  let si = site_index site in
+  let h = t.hits.(si).(pid) + 1 in
+  t.hits.(si).(pid) <- h;
+  let matches r =
+    r.site = site && r.at = h
+    && match r.pid with None -> true | Some p -> p = pid
+  in
+  match List.find_opt matches t.rules with
+  | None -> None
+  | Some r ->
+      record t { ev_step = step; ev_site = site; ev_pid = pid; ev_hit = h; ev_action = r.action };
+      (match r.action with
+      | Stall n -> Atomic.set t.stalled_until.(pid) (if n <= 0 then max_int else step + n)
+      | Crash -> t.crashed.(pid) <- true
+      | Drop_eject n -> t.drop_budget.(pid) <- t.drop_budget.(pid) + n
+      | Delay _ -> ());
+      Some r.action
+
+(** Consume up to [avail] units of the pid's pending eject-drop budget;
+    returns how many ejected entries the wrapper should withhold. *)
+let take_drops t ~pid ~avail =
+  let m = min t.drop_budget.(pid) avail in
+  t.drop_budget.(pid) <- t.drop_budget.(pid) - m;
+  m
+
+(** Seeded random plan over [rules] injection points — same seed, same
+    plan, so any failure it provokes replays exactly. *)
+let random ~seed ?(rules = 3) ~max_threads () =
+  let rng = Repro_util.Rng.create ~seed in
+  let site () =
+    match Repro_util.Rng.int rng n_sites with
+    | 0 -> On_begin_cs
+    | 1 -> On_confirm
+    | 2 -> On_retire
+    | 3 -> On_eject
+    | _ -> On_alloc
+  in
+  let action () =
+    match Repro_util.Rng.int rng 8 with
+    | 0 | 1 | 2 -> Delay (1 + Repro_util.Rng.int rng 64)
+    | 3 | 4 ->
+        Stall (if Repro_util.Rng.int rng 3 = 0 then 0 else 5 + Repro_util.Rng.int rng 60)
+    | 5 | 6 -> Crash
+    | _ -> Drop_eject (1 + Repro_util.Rng.int rng 4)
+  in
+  let rule () =
+    {
+      site = site ();
+      pid = Some (Repro_util.Rng.int rng max_threads);
+      at = 1 + Repro_util.Rng.int rng 25;
+      action = action ();
+    }
+  in
+  create (List.init rules (fun _ -> rule ()))
+
+let pp_site ppf s =
+  Format.pp_print_string ppf
+    (match s with
+    | On_begin_cs -> "begin_cs"
+    | On_confirm -> "confirm"
+    | On_retire -> "retire"
+    | On_eject -> "eject"
+    | On_alloc -> "alloc")
+
+let pp_action ppf = function
+  | Stall 0 -> Format.fprintf ppf "stall(forever)"
+  | Stall n -> Format.fprintf ppf "stall(%d)" n
+  | Delay n -> Format.fprintf ppf "delay(%d)" n
+  | Crash -> Format.fprintf ppf "crash"
+  | Drop_eject n -> Format.fprintf ppf "drop_eject(%d)" n
+
+let pp_event ppf e =
+  Format.fprintf ppf "step=%d pid=%d %a#%d -> %a" e.ev_step e.ev_pid pp_site e.ev_site
+    e.ev_hit pp_action e.ev_action

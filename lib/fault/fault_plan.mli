@@ -1,0 +1,99 @@
+(** Deterministic fault schedules for SMR robustness testing.
+
+    A plan is a seeded, reproducible schedule of faults keyed on
+    {e injection sites} — the scheme API calls a {!Faulty_smr} wrapper
+    intercepts — and fired by per-(site, pid) hit counts, so the same
+    plan driven by the same workload injects the same faults at the
+    same points, regardless of wall-clock timing. Every fired fault is
+    recorded in a trace buffer; a failing run replays exactly from its
+    plan (and the trace says what fired when).
+
+    Stall semantics are cooperative: firing [Stall] marks the pid
+    stalled (until the global fault clock — which ticks on every site
+    hit by any thread — passes the deadline, or {!resume}). The call it
+    fired on still completes; the {!Faulty_smr} wrapper then freezes
+    the thread's protection (suppressing its critical-section exit and
+    guard releases), and the workload driver is expected to park the
+    thread while {!stalled} holds. This models "thread stalls inside
+    its operation, still holding announcements" — the paper's §2
+    robustness scenario — without real blocking, so single-threaded
+    tests stay deterministic and deadlock-free.
+
+    [Crash] permanently kills the pid: the wrapper raises {!Crashed}
+    out of the victim's call (after a [retire] records its entry,
+    before any other site takes effect), and every later scheme call by
+    that pid raises again. Recovery is the survivors' job via
+    [abandon]. [Delay] spins to widen race windows; [Drop_eject n]
+    makes the victim's ejector "lose" its next [n] reclaimable entries
+    (the wrapper re-retires them, modelling a lost scan — delayed, not
+    leaked). *)
+
+type site = On_begin_cs | On_confirm | On_retire | On_eject | On_alloc
+
+type action =
+  | Stall of int  (** stall for n fault-clock steps; [n <= 0] = until {!resume} *)
+  | Delay of int  (** spin for n [cpu_relax] iterations, then proceed *)
+  | Crash  (** kill the pid: raise {!Crashed}, permanently *)
+  | Drop_eject of int  (** withhold the next n ejected entries (re-retired) *)
+
+type rule = { site : site; pid : int option; at : int; action : action }
+(** Fire [action] on the [at]-th hit of [site] by [pid] ([None] = the
+    [at]-th hit by each pid separately; counts start at 1). *)
+
+exception Crashed of int
+(** Raised out of a faulted call, carrying the dead pid. *)
+
+type event = {
+  ev_step : int;  (** global fault-clock step at which the rule fired *)
+  ev_site : site;
+  ev_pid : int;
+  ev_hit : int;
+  ev_action : action;
+}
+
+type t
+
+val max_pids : int
+(** Capacity limit on pids a plan can track (128). *)
+
+val create : rule list -> t
+(** A plan from explicit rules. Raises [Invalid_argument] on hit
+    counts < 1 or out-of-range pids. *)
+
+val none : unit -> t
+(** A fresh no-fault plan (wrappers become transparent). *)
+
+val random : seed:int -> ?rules:int -> max_threads:int -> unit -> t
+(** A seeded random plan of [rules] (default 3) rules targeting pids
+    below [max_threads]. Same seed, same plan. *)
+
+(** {2 Queries for workload drivers} *)
+
+val stalled : t -> pid:int -> bool
+(** Is the pid currently stalled? Drivers should park a stalled thread
+    and poll; the stall may expire on its own as the fault clock
+    advances. *)
+
+val crashed : t -> pid:int -> bool
+
+val resume : t -> pid:int -> unit
+(** Lift a stall early (recovery experiments). *)
+
+val now : t -> int
+(** Current fault-clock step. *)
+
+val trace : t -> event list
+(** Every fault fired so far, in firing order. *)
+
+val pp_site : Format.formatter -> site -> unit
+val pp_action : Format.formatter -> action -> unit
+val pp_event : Format.formatter -> event -> unit
+
+(** {2 Wrapper-side interface (used by {!Faulty_smr})} *)
+
+val hit : t -> site -> pid:int -> action option
+(** Count a site hit and fire the first matching rule, if any. Raises
+    {!Crashed} if the pid has already crashed. *)
+
+val take_drops : t -> pid:int -> avail:int -> int
+(** Consume up to [avail] of the pid's pending eject-drop budget. *)

@@ -16,6 +16,7 @@ type t = {
   cur_epoch : int Atomic.t;
   alloc_tally : int Padded.t; (* owner-thread only; padded for locality *)
   retired : int Retire_queue.t array; (* meta = retire epoch *)
+  orphans : int Orphanage.t; (* entries abandoned by crashed threads *)
 }
 
 let create ?(epoch_freq = 10) ?(cleanup_freq = 64) ?slots_per_thread:_ ~max_threads () =
@@ -27,6 +28,7 @@ let create ?(epoch_freq = 10) ?(cleanup_freq = 64) ?slots_per_thread:_ ~max_thre
     cur_epoch = Atomic.make 0;
     alloc_tally = Padded.create max_threads 0;
     retired = Array.init max_threads (fun _ -> Retire_queue.create ());
+    orphans = Orphanage.create ();
   }
 
 let max_threads t = t.max_threads
@@ -55,15 +57,36 @@ let min_announced t = Padded.fold min max_int t.ann
 
 let retire t ~pid _id ~birth:_ op = Retire_queue.push t.retired.(pid) (Atomic.get t.cur_epoch) op
 
+(* Adopt orphaned entries against the same safety predicate; the
+   still-protected remainder goes back to the pool. *)
+let adopt_orphans t ~safe =
+  match Orphanage.take_all t.orphans with
+  | [] -> []
+  | entries ->
+      let ready, blocked = List.partition (fun (m, _) -> safe m) entries in
+      Orphanage.put t.orphans blocked;
+      List.map snd ready
+
 let eject ?(force = false) t ~pid =
   let q = t.retired.(pid) in
   if force || Retire_queue.due q ~every:t.cleanup_freq then begin
     let min_ann = min_announced t in
+    let safe e = e < min_ann in
     (* Retire epochs are monotone within a thread's queue. *)
-    Retire_queue.pop_prefix q ~safe:(fun e -> e < min_ann)
+    Retire_queue.pop_prefix q ~safe @ adopt_orphans t ~safe
   end
   else []
 
 let retired_count t ~pid = Retire_queue.size t.retired.(pid)
 
-let drain_all t = Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired
+let abandon t ~pid =
+  Padded.set t.ann pid empty_ann;
+  Orphanage.put t.orphans (Retire_queue.drain_with_meta t.retired.(pid))
+
+let reclamation_frontier t =
+  let f = min_announced t in
+  Some (if f = max_int then Atomic.get t.cur_epoch else f)
+
+let drain_all t =
+  let orphaned = List.map snd (Orphanage.take_all t.orphans) in
+  orphaned @ Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired

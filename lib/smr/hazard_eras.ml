@@ -19,6 +19,7 @@ type t = {
   free : int list array; (* owner only *)
   alloc_tally : int Padded.t;
   retired : (int * int) Retire_queue.t array; (* (birth era, retire era) *)
+  orphans : (int * int) Orphanage.t;
 }
 
 let create ?(epoch_freq = 40) ?(cleanup_freq = 64) ?(slots_per_thread = 8) ~max_threads () =
@@ -33,6 +34,7 @@ let create ?(epoch_freq = 40) ?(cleanup_freq = 64) ?(slots_per_thread = 8) ~max_
     free = Array.init max_threads (fun _ -> List.init k Fun.id);
     alloc_tally = Padded.create max_threads 0;
     retired = Array.init max_threads (fun _ -> Retire_queue.create ());
+    orphans = Orphanage.create ();
   }
 
 let max_threads t = t.max_threads
@@ -90,10 +92,36 @@ let eject ?(force = false) t ~pid =
       if e <> empty_era then eras := e :: !eras
     done;
     let eras = !eras in
-    Retire_queue.filter_pop q ~safe:(fun (birth, retired_at) ->
-        not (List.exists (fun e -> birth <= e && e <= retired_at) eras))
+    let safe (birth, retired_at) =
+      not (List.exists (fun e -> birth <= e && e <= retired_at) eras)
+    in
+    let adopted =
+      match Orphanage.take_all t.orphans with
+      | [] -> []
+      | entries ->
+          let ready, blocked = List.partition (fun (m, _) -> safe m) entries in
+          Orphanage.put t.orphans blocked;
+          List.map snd ready
+    in
+    Retire_queue.filter_pop q ~safe @ adopted
   end
   else []
 
 let retired_count t ~pid = Retire_queue.size t.retired.(pid)
-let drain_all t = Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired
+
+let abandon t ~pid =
+  for s = 0 to t.k do
+    Padded.set t.slots (slot_index t ~pid s) empty_era
+  done;
+  t.free.(pid) <- List.init t.k Fun.id;
+  Orphanage.put t.orphans (Retire_queue.drain_with_meta t.retired.(pid))
+
+let reclamation_frontier t =
+  let f =
+    Padded.fold (fun acc e -> if e = empty_era then acc else min acc e) max_int t.slots
+  in
+  Some (if f = max_int then Atomic.get t.era else f)
+
+let drain_all t =
+  let orphaned = List.map snd (Orphanage.take_all t.orphans) in
+  orphaned @ Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired

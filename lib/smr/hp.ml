@@ -16,6 +16,7 @@ type t = {
   slots : Ident.t Padded.t; (* (k+1) * max_threads announcement slots *)
   free : int list array; (* per-thread free local slot indices; owner only *)
   retired : Ident.t Retire_queue.t array;
+  orphans : Ident.t Orphanage.t;
 }
 
 let create ?epoch_freq:_ ?(cleanup_freq = 64) ?(slots_per_thread = 8) ~max_threads () =
@@ -27,6 +28,7 @@ let create ?epoch_freq:_ ?(cleanup_freq = 64) ?(slots_per_thread = 8) ~max_threa
     slots = Padded.create ((k + 1) * max_threads) Ident.null;
     free = Array.init max_threads (fun _ -> List.init k Fun.id);
     retired = Array.init max_threads (fun _ -> Retire_queue.create ());
+    orphans = Orphanage.create ();
   }
 
 let max_threads t = t.max_threads
@@ -81,9 +83,30 @@ let eject ?(force = false) t ~pid =
       if not (Ident.is_null id) then announced := id :: !announced
     done;
     let announced = !announced in
-    Retire_queue.filter_pop q ~safe:(fun id -> not (List.exists (Ident.equal id) announced))
+    let safe id = not (List.exists (Ident.equal id) announced) in
+    let adopted =
+      match Orphanage.take_all t.orphans with
+      | [] -> []
+      | entries ->
+          let ready, blocked = List.partition (fun (id, _) -> safe id) entries in
+          Orphanage.put t.orphans blocked;
+          List.map snd ready
+    in
+    Retire_queue.filter_pop q ~safe @ adopted
   end
   else []
 
 let retired_count t ~pid = Retire_queue.size t.retired.(pid)
-let drain_all t = Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired
+
+let abandon t ~pid =
+  for s = 0 to t.k do
+    Padded.set t.slots (slot_index t ~pid s) Ident.null
+  done;
+  t.free.(pid) <- List.init t.k Fun.id;
+  Orphanage.put t.orphans (Retire_queue.drain_with_meta t.retired.(pid))
+
+let reclamation_frontier _t = None
+
+let drain_all t =
+  let orphaned = List.map snd (Orphanage.take_all t.orphans) in
+  orphaned @ Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired

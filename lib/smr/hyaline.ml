@@ -14,6 +14,7 @@ type t = {
   max_threads : int;
   state : hstate Atomic.t;
   snapshot : rnode Padded.t; (* head observed at each thread's enter *)
+  in_cs : bool Padded.t; (* whether each thread holds an open critical section *)
   safe : (Deferred.t) list Atomic.t; (* entries whose stamp reached zero *)
   pending : int Atomic.t; (* retired - ejected, diagnostics *)
 }
@@ -23,6 +24,7 @@ let create ?epoch_freq:_ ?cleanup_freq:_ ?slots_per_thread:_ ~max_threads () =
     max_threads;
     state = Atomic.make { active = 0; head = Nil };
     snapshot = Padded.create max_threads Nil;
+    in_cs = Padded.create max_threads false;
     safe = Atomic.make [];
     pending = Atomic.make 0;
   }
@@ -36,8 +38,10 @@ let rec push_safe t op =
 
 let rec begin_critical_section t ~pid =
   let s = Atomic.get t.state in
-  if Atomic.compare_and_set t.state s { s with active = s.active + 1 } then
-    Padded.set t.snapshot pid s.head
+  if Atomic.compare_and_set t.state s { s with active = s.active + 1 } then begin
+    Padded.set t.snapshot pid s.head;
+    Padded.set t.in_cs pid true
+  end
   else begin
     Domain.cpu_relax ();
     begin_critical_section t ~pid
@@ -64,7 +68,8 @@ let rec end_critical_section t ~pid =
   let head' = if active' = 0 then Nil else s.head in
   if Atomic.compare_and_set t.state s { active = active'; head = head' } then begin
     decrement_segment t s.head (Padded.get t.snapshot pid);
-    Padded.set t.snapshot pid Nil
+    Padded.set t.snapshot pid Nil;
+    Padded.set t.in_cs pid false
   end
   else begin
     Domain.cpu_relax ();
@@ -103,4 +108,13 @@ let eject ?force:_ t ~pid:_ =
 (* Pending entries that are global rather than per-thread: report the
    whole count against every pid (documented in the interface). *)
 let retired_count t ~pid:_ = Atomic.get t.pending
+
+(* A crashed thread holds no private retired entries (retirement is
+   global here), but an open critical section pins a unit of every
+   stamp retired since it entered. Leaving on its behalf releases them
+   — the adoption this scheme gets for free from its batch counting. *)
+let abandon t ~pid = if Padded.get t.in_cs pid then end_critical_section t ~pid
+
+let reclamation_frontier _t = None
+
 let drain_all t = eject t ~pid:0

@@ -19,6 +19,7 @@ type t = {
   cur_epoch : int Atomic.t;
   alloc_tally : int Padded.t; (* owner-thread only *)
   retired : (int * int) Retire_queue.t array; (* meta = (birth, retire epoch) *)
+  orphans : (int * int) Orphanage.t;
 }
 
 let create ?(epoch_freq = 40) ?(cleanup_freq = 64) ?slots_per_thread:_ ~max_threads () =
@@ -30,6 +31,7 @@ let create ?(epoch_freq = 40) ?(cleanup_freq = 64) ?slots_per_thread:_ ~max_thre
     cur_epoch = Atomic.make 0;
     alloc_tally = Padded.create max_threads 0;
     retired = Array.init max_threads (fun _ -> Retire_queue.create ());
+    orphans = Orphanage.create ();
   }
 
 let max_threads t = t.max_threads
@@ -68,15 +70,36 @@ let release _t ~pid:_ _g = ()
 let retire t ~pid _id ~birth op =
   Retire_queue.push t.retired.(pid) (birth, Atomic.get t.cur_epoch) op
 
+let adopt_orphans t ~safe =
+  match Orphanage.take_all t.orphans with
+  | [] -> []
+  | entries ->
+      let ready, blocked = List.partition (fun (m, _) -> safe m) entries in
+      Orphanage.put t.orphans blocked;
+      List.map snd ready
+
 let eject ?(force = false) t ~pid =
   let q = t.retired.(pid) in
   if force || Retire_queue.due q ~every:t.cleanup_freq then begin
     let n = t.max_threads in
     let anns = Array.init n (fun i -> Padded.get t.ann i) in
-    Retire_queue.filter_pop q ~safe:(fun (birth, retired_at) ->
-        Array.for_all (fun a -> a.e < birth || a.b > retired_at) anns)
+    let safe (birth, retired_at) =
+      Array.for_all (fun a -> a.e < birth || a.b > retired_at) anns
+    in
+    Retire_queue.filter_pop q ~safe @ adopt_orphans t ~safe
   end
   else []
 
 let retired_count t ~pid = Retire_queue.size t.retired.(pid)
-let drain_all t = Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired
+
+let abandon t ~pid =
+  Padded.set t.ann pid inactive;
+  Orphanage.put t.orphans (Retire_queue.drain_with_meta t.retired.(pid))
+
+let reclamation_frontier t =
+  let f = Padded.fold (fun acc a -> min acc a.b) max_int t.ann in
+  Some (if f = max_int then Atomic.get t.cur_epoch else f)
+
+let drain_all t =
+  let orphaned = List.map snd (Orphanage.take_all t.orphans) in
+  orphaned @ Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired

@@ -4,10 +4,14 @@ let confirm_is_trivial = true
 let requires_validation = false
 
 type guard = int
-type t = { max_threads : int; retired : unit Retire_queue.t array }
+type t = { max_threads : int; retired : unit Retire_queue.t array; orphans : unit Orphanage.t }
 
 let create ?epoch_freq:_ ?cleanup_freq:_ ?slots_per_thread:_ ~max_threads () =
-  { max_threads; retired = Array.init max_threads (fun _ -> Retire_queue.create ()) }
+  {
+    max_threads;
+    retired = Array.init max_threads (fun _ -> Retire_queue.create ());
+    orphans = Orphanage.create ();
+  }
 
 let max_threads t = t.max_threads
 let begin_critical_section _t ~pid:_ = ()
@@ -20,4 +24,12 @@ let release _t ~pid:_ _g = ()
 let retire t ~pid _id ~birth:_ op = Retire_queue.push t.retired.(pid) () op
 let eject ?force:_ _t ~pid:_ = []
 let retired_count t ~pid = Retire_queue.size t.retired.(pid)
-let drain_all t = Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired
+
+(* Nothing is announced and nothing ejects before teardown, but the
+   parked entries still need a live owner for [drain_all] to find. *)
+let abandon t ~pid = Orphanage.put t.orphans (Retire_queue.drain_with_meta t.retired.(pid))
+let reclamation_frontier _t = None
+
+let drain_all t =
+  let orphaned = List.map snd (Orphanage.take_all t.orphans) in
+  orphaned @ Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired

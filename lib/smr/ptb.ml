@@ -16,6 +16,7 @@ type t = {
   handoffs : handoff Atomic.t array; (* one per physical slot *)
   free : int list array; (* owner only *)
   retired : Ident.t Retire_queue.t array;
+  orphans : Ident.t Orphanage.t;
 }
 
 let create ?epoch_freq:_ ?(cleanup_freq = 64) ?(slots_per_thread = 8) ~max_threads () =
@@ -28,6 +29,7 @@ let create ?epoch_freq:_ ?(cleanup_freq = 64) ?(slots_per_thread = 8) ~max_threa
     handoffs = Array.init ((k + 1) * max_threads) (fun _ -> Atomic.make None);
     free = Array.init max_threads (fun _ -> List.init k Fun.id);
     retired = Array.init max_threads (fun _ -> Retire_queue.create ());
+    orphans = Orphanage.create ();
   }
 
 let max_threads t = t.max_threads
@@ -109,13 +111,29 @@ let eject ?(force = false) t ~pid =
           end
           else keep := entry :: !keep
         end)
-      (Retire_queue.drain_with_meta q);
+      (Orphanage.take_all t.orphans @ Retire_queue.drain_with_meta q);
     List.iter (fun (id, op) -> Retire_queue.push q id op) (List.rev !keep);
     List.rev !safe
   end
   else []
 
 let retired_count t ~pid = Retire_queue.size t.retired.(pid)
+
+let abandon t ~pid =
+  (* Clear the dead thread's posted guards, reclaiming any buck that
+     was handed off to them along the way. *)
+  let parked = ref [] in
+  for s = 0 to t.k do
+    let idx = slot_index t ~pid s in
+    Padded.set t.slots idx Ident.null;
+    match Atomic.exchange t.handoffs.(idx) None with
+    | Some entry -> parked := entry :: !parked
+    | None -> ()
+  done;
+  t.free.(pid) <- List.init t.k Fun.id;
+  Orphanage.put t.orphans (!parked @ Retire_queue.drain_with_meta t.retired.(pid))
+
+let reclamation_frontier _t = None
 
 let drain_all t =
   (* Quiescent: every slot is unposted, but bucks may still sit in
@@ -127,4 +145,5 @@ let drain_all t =
     |> List.filter_map (fun h ->
            match Atomic.exchange h None with Some (_, op) -> Some op | None -> None)
   in
-  parked @ Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired
+  let orphaned = List.map snd (Orphanage.take_all t.orphans) in
+  parked @ orphaned @ Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired

@@ -143,6 +143,33 @@ module type S = sig
   (** Number of this thread's retired-but-not-ejected entries
       (diagnostics / memory accounting). *)
 
+  val abandon : t -> pid:int -> unit
+  (** Crash recovery: release every resource held by [pid] on its
+      behalf — close its critical section, clear its announcement
+      slots, and hand its retired-but-not-ejected entries to the
+      survivors for adoption (Hyaline-batch style: they land in a
+      shared orphan pool that any thread's next [eject] scan drains,
+      still subject to the scheme's safety check).
+
+      Call it exactly once per crashed thread, and only after that
+      thread has truly stopped calling into the scheme — [abandon]
+      mutates owner-only state. Afterwards the pid's slots are free
+      again, so a supervisor may recycle the pid for a replacement
+      thread. Without [abandon], a crashed thread permanently pins the
+      garbage its announcements protect — for EBR, {e all} garbage
+      retired after its critical section began (§2's unbounded case);
+      for HP/IBR/HE a bounded amount. *)
+
+  val reclamation_frontier : t -> int option
+  (** The oldest announced epoch/era still blocking reclamation, for
+      schemes with a global clock (EBR: min announced epoch; IBR: min
+      announced interval start; HE: min announced era — each falling
+      back to the current epoch/era when nothing is announced). [None]
+      for schemes without one (HP, PTB, Hyaline, the leaky baseline).
+      A frontier that stops advancing while retired counts grow is the
+      signature of a stalled thread — the [Acquire_retire] watchdog
+      reports exactly that. *)
+
   val drain_all : t -> Deferred.t list
   (** Return {e all} pending deferred operations from all threads.
       Only sound at quiescence: no critical section active, no guard

@@ -1,11 +1,19 @@
-type t = { min : int; max : int; mutable cur : int }
+type t = { min : int; max : int; rng : Rng.t option; mutable cur : int }
 
-let create ?(min = 1) ?(max = 256) () = { min; max; cur = min }
+let create ?(min = 1) ?(max = 256) ?rng () = { min; max; rng; cur = min }
 
+let current t = t.cur
+
+(* With a seeded [rng], spin for [cur, 2*cur) iterations instead of
+   exactly [cur]: threads that exhausted their slots at the same moment
+   decorrelate instead of re-colliding in lockstep. *)
 let once t =
-  for _ = 1 to t.cur do
+  let spins =
+    match t.rng with None -> t.cur | Some rng -> t.cur + Rng.int rng (t.cur + 1)
+  in
+  for _ = 1 to spins do
     Domain.cpu_relax ()
   done;
-  if t.cur < t.max then t.cur <- t.cur * 2
+  if t.cur < t.max then t.cur <- min t.max (t.cur * 2)
 
 let reset t = t.cur <- t.min

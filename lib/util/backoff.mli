@@ -6,13 +6,19 @@
 
 type t
 
-val create : ?min:int -> ?max:int -> unit -> t
-(** [create ?min ?max ()] returns a fresh backoff controller. [min]
-    (default 1) and [max] (default 256) bound the spin count. *)
+val create : ?min:int -> ?max:int -> ?rng:Rng.t -> unit -> t
+(** [create ?min ?max ?rng ()] returns a fresh backoff controller.
+    [min] (default 1) and [max] (default 256) bound the spin count.
+    When [rng] is given, each spin adds a seeded random jitter of up to
+    the current level, so threads that fail together don't retry in
+    lockstep; the rng must not be shared across threads. *)
 
 val once : t -> unit
-(** Spin once at the current level, then double the level (up to the
-    cap). *)
+(** Spin once at the current level (plus jitter when seeded), then
+    double the level (up to the cap). *)
 
 val reset : t -> unit
 (** Reset the spin level to its minimum (call after a success). *)
+
+val current : t -> int
+(** The current spin level (tests / diagnostics). *)

@@ -49,14 +49,17 @@ type result = {
   live_peak : int;
   leaked : int; (* live blocks after teardown; 0 = leak-free *)
   uaf : int; (* use-after-free events caught (unsafe schemes) *)
+  worker_failures : int; (* workers killed by a non-safety exception (harness bug) *)
   snap_slow_share : float option; (* RC only: slow-path snapshot share *)
 }
 
 let pp_result ppf r =
-  Format.fprintf ppf "%-12s P=%-3d %8.3f Mops/s  ops=%-10d live(avg)=%-9.0f peak=%-9d%s%s%s"
+  Format.fprintf ppf "%-12s P=%-3d %8.3f Mops/s  ops=%-10d live(avg)=%-9.0f peak=%-9d%s%s%s%s"
     r.scheme r.spec.threads r.mops r.total_ops r.live_avg r.live_peak
     (if r.leaked > 0 then Printf.sprintf "  LEAK=%d" r.leaked else "")
     (if r.uaf > 0 then Printf.sprintf "  UAF=%d" r.uaf else "")
+    (if r.worker_failures > 0 then Printf.sprintf "  FAILED-WORKERS=%d" r.worker_failures
+     else "")
     (match r.snap_slow_share with
     | Some s when s > 0.0005 -> Printf.sprintf "  slow-snap=%.1f%%" (100. *. s)
     | _ -> "")
@@ -82,6 +85,7 @@ module Run (D : Ds.Set_intf.S) = struct
     let stop = Atomic.make false in
     let ops = Array.make spec.threads 0 in
     let uafs = Atomic.make 0 in
+    let failures = Atomic.make 0 in
     let worker pid () =
       let c = D.ctx d (pid + 1) in
       let rng = Repro_util.Rng.create ~seed:(spec.seed + ((pid + 1) * 7919)) in
@@ -102,9 +106,17 @@ module Run (D : Ds.Set_intf.S) = struct
            n := !n + 64
          done;
          D.flush c
-       with e ->
-         ignore (Atomic.fetch_and_add uafs 1);
-         Printf.eprintf "[%s] worker %d died: %s\n%!" D.name pid (Printexc.to_string e));
+       with
+      | (Simheap.Use_after_free _ | Simheap.Double_free _) as e ->
+          (* A safety violation of the reclamation scheme under test. *)
+          ignore (Atomic.fetch_and_add uafs 1);
+          Printf.eprintf "[%s] worker %d safety violation: %s\n%!" D.name pid
+            (Printexc.to_string e)
+      | e ->
+          (* Anything else is a harness/structure bug, not a UAF —
+             report it as a worker failure so the two aren't conflated. *)
+          ignore (Atomic.fetch_and_add failures 1);
+          Printf.eprintf "[%s] worker %d died: %s\n%!" D.name pid (Printexc.to_string e));
       ops.(pid) <- !n
     in
     let t0 = Unix.gettimeofday () in
@@ -150,6 +162,7 @@ module Run (D : Ds.Set_intf.S) = struct
       live_peak;
       leaked;
       uaf = uaf_ds + Atomic.get uafs;
+      worker_failures = Atomic.get failures;
       snap_slow_share;
     }
 end

@@ -247,6 +247,167 @@ let run_abl_hpslots ?(threads = 2) ?(duration = 0.3) ?(slots = [ 2; 4; 8; 16; 32
     slots;
   Format.printf "@."
 
+(* ---------------- robustness (fault injection) ---------------- *)
+
+(* The paper's §2/§5.2 robustness claim, machine-checked: stall one
+   thread inside its critical section and watch each scheme's garbage.
+   EBR's backlog grows without bound (the stalled section pins the
+   epoch frontier); HP/IBR/HE cap it per stalled thread; and reaping
+   the stalled thread with [abandon] restores reclamation everywhere.
+   Workers run a Treiber push/pop loop — the smallest real SMR
+   consumer — under a [Fault.Faulty_smr] wrapper, so the stall is
+   injected by a deterministic plan rather than scripted by hand. *)
+
+type robustness_result = {
+  rb_scheme : string;
+  rb_curve : (float * int) list; (* (seconds, live blocks) samples *)
+  rb_peak_stalled : int; (* peak live blocks while the victim stalled *)
+  rb_live_at_abandon : int;
+  rb_live_end : int; (* live blocks once survivors drained post-abandon *)
+  rb_leaked : int; (* after teardown *)
+  rb_watchdog_fired : float option; (* seconds at which Stuck was reported *)
+  rb_events : Fault.Fault_plan.event list;
+}
+
+let pp_robustness_result ppf r =
+  Format.fprintf ppf
+    "%-8s peak(stalled)=%-8d live@abandon=%-8d live@end=%-8d leaked=%-4d watchdog=%s"
+    r.rb_scheme r.rb_peak_stalled r.rb_live_at_abandon r.rb_live_end r.rb_leaked
+    (match r.rb_watchdog_fired with
+    | Some s -> Printf.sprintf "stuck@%.2fs" s
+    | None -> "quiet")
+
+let robustness_schemes : (module Smr.Smr_intf.S) list =
+  [
+    (module Smr.Ebr : Smr.Smr_intf.S);
+    (module Smr.Ibr);
+    (module Smr.Hp);
+    (module Smr.Hazard_eras);
+    (module Smr.Hyaline);
+    (module Smr.Ptb);
+  ]
+
+let run_robustness_one ?(duration = 1.0) ?(seed = 42) (module S : Smr.Smr_intf.S) =
+  let workers = 3 in
+  let victim = 0 in
+  (* Stall the victim forever at its 21st critical-section entry; the
+     plan is the only thing that distinguishes this run from a healthy
+     one. *)
+  let plan =
+    Fault.Fault_plan.create
+      [ { site = On_begin_cs; pid = Some victim; at = 21; action = Stall 0 } ]
+  in
+  let module FS =
+    Fault.Faulty_smr.Make
+      (S)
+      (struct
+        let plan = plan
+      end)
+  in
+  let module St = Ds.Treiber_stack_manual.Make (FS) in
+  let st = St.create ~max_threads:workers () in
+  let stop = Atomic.make false in
+  let abandoned = Atomic.make false in
+  let worker pid () =
+    let c = St.ctx st pid in
+    let rng = Repro_util.Rng.create ~seed:(seed + (pid * 7919)) in
+    while not (Atomic.get stop) do
+      if Fault.Fault_plan.stalled plan ~pid then
+        (* Parked: the thread is "preempted" holding its protection. *)
+        Unix.sleepf 0.001
+      else begin
+        St.push c (Repro_util.Rng.int rng 1000);
+        ignore (St.pop c)
+      end
+    done;
+    if not (Fault.Fault_plan.stalled plan ~pid) then St.flush c
+  in
+  let t0 = Unix.gettimeofday () in
+  let domains = List.init workers (fun pid -> Domain.spawn (worker pid)) in
+  let wd = St.Ar.watchdog ~threshold:3 ~slack:256 () in
+  let watchdog_fired = ref None in
+  let curve = ref [] in
+  let peak_stalled = ref 0 in
+  let live_at_abandon = ref 0 in
+  let abandon_at = duration /. 2. in
+  let rec sample () =
+    let now = Unix.gettimeofday () -. t0 in
+    if now < duration then begin
+      let live = St.live_objects st in
+      curve := (now, live) :: !curve;
+      if not (Atomic.get abandoned) then begin
+        peak_stalled := max !peak_stalled live;
+        (match St.Ar.watchdog_check st.St.ar wd with
+        | St.Ar.Stuck _ when !watchdog_fired = None -> watchdog_fired := Some now
+        | _ -> ());
+        if now >= abandon_at then begin
+          (* Recovery: reap the stalled thread on its behalf. *)
+          live_at_abandon := live;
+          St.abandon st ~pid:victim;
+          Atomic.set abandoned true
+        end
+      end;
+      Unix.sleepf 0.002;
+      sample ()
+    end
+  in
+  sample ();
+  Atomic.set stop true;
+  List.iter Domain.join domains;
+  let live_end = St.live_objects st in
+  St.teardown st;
+  {
+    rb_scheme = S.name;
+    rb_curve = List.rev !curve;
+    rb_peak_stalled = !peak_stalled;
+    rb_live_at_abandon = !live_at_abandon;
+    rb_live_end = live_end;
+    rb_leaked = St.live_objects st;
+    rb_watchdog_fired = !watchdog_fired;
+    rb_events = Fault.Fault_plan.trace plan;
+  }
+
+let run_robustness ?(duration = 1.0) ?(schemes = []) ?(seed = 42) ?out () =
+  Format.printf
+    "@.== Robustness: one stalled thread, garbage growth and recovery by abandon \
+     ==@.expected: EBR backlog grows unboundedly while stalled (watchdog trips); \
+     HP/IBR/HE stay bounded; abandon restores leak-free reclamation everywhere@.@.";
+  let picked =
+    match schemes with
+    | [] -> robustness_schemes
+    | names ->
+        List.filter
+          (fun (module S : Smr.Smr_intf.S) ->
+            List.exists (fun n -> String.lowercase_ascii n = String.lowercase_ascii S.name) names)
+          robustness_schemes
+  in
+  let results = List.map (run_robustness_one ~duration ~seed) picked in
+  List.iter
+    (fun r ->
+      Format.printf "%a@." pp_robustness_result r;
+      List.iter (fun e -> Format.printf "    [fault] %a@." Fault.Fault_plan.pp_event e) r.rb_events)
+    results;
+  Format.printf "@.";
+  (match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      let ppf = Format.formatter_of_out_channel oc in
+      Format.fprintf ppf "# robustness: stalled thread at op 21, abandon at %.2fs, seed %d@."
+        (duration /. 2.) seed;
+      Format.fprintf ppf "# scheme,time_s,live_blocks@.";
+      List.iter
+        (fun r ->
+          List.iter
+            (fun (t, live) -> Format.fprintf ppf "%s,%.4f,%d@." r.rb_scheme t live)
+            r.rb_curve;
+          Format.fprintf ppf "# %a@." pp_robustness_result r)
+        results;
+      Format.pp_print_flush ppf ();
+      close_out oc;
+      Format.printf "curves written to %s@.@." path);
+  results
+
 (* Extension table: Treiber stack push/pop across every scheme — not a
    paper figure, but the smallest end-to-end consumer of the framework
    (includes the "None" leak-everything upper bound). *)

@@ -109,6 +109,41 @@ let test_backoff_progresses () =
   Backoff.once b;
   Alcotest.(check pass) "backoff terminates" () ()
 
+let test_backoff_doubles_and_caps () =
+  let b = Backoff.create ~min:1 ~max:16 () in
+  let expected = [ 1; 2; 4; 8; 16; 16; 16 ] in
+  List.iter
+    (fun e ->
+      Alcotest.(check int) "spin count" e (Backoff.current b);
+      Backoff.once b)
+    expected
+
+let test_backoff_reset () =
+  let b = Backoff.create ~min:2 ~max:64 () in
+  for _ = 1 to 10 do
+    Backoff.once b
+  done;
+  Alcotest.(check int) "saturated at max" 64 (Backoff.current b);
+  Backoff.reset b;
+  Alcotest.(check int) "reset to min" 2 (Backoff.current b)
+
+let test_backoff_jitter_deterministic () =
+  (* Jitter draws from the supplied RNG, so the same seed must give the
+     same schedule, and the nominal doubling/cap must be unaffected. *)
+  let run seed =
+    let b = Backoff.create ~min:1 ~max:8 ~rng:(Rng.create ~seed) () in
+    List.init 12 (fun _ ->
+        let c = Backoff.current b in
+        Backoff.once b;
+        c)
+  in
+  Alcotest.(check (list int)) "same seed, same schedule" (run 99) (run 99);
+  let b = Backoff.create ~min:1 ~max:8 ~rng:(Rng.create ~seed:1) () in
+  for _ = 1 to 10 do
+    Backoff.once b
+  done;
+  Alcotest.(check int) "jitter does not change the cap" 8 (Backoff.current b)
+
 let feq what a b = Alcotest.(check (float 1e-9)) what a b
 
 let test_stats_mean_stddev () =
@@ -149,7 +184,13 @@ let () =
           Alcotest.test_case "fold" `Quick test_padded_fold;
           Alcotest.test_case "parallel disjoint slots" `Quick test_padded_parallel_disjoint;
         ] );
-      ("backoff", [ Alcotest.test_case "progresses" `Quick test_backoff_progresses ]);
+      ( "backoff",
+        [
+          Alcotest.test_case "progresses" `Quick test_backoff_progresses;
+          Alcotest.test_case "doubles and caps" `Quick test_backoff_doubles_and_caps;
+          Alcotest.test_case "reset" `Quick test_backoff_reset;
+          Alcotest.test_case "jitter deterministic" `Quick test_backoff_jitter_deterministic;
+        ] );
       ( "stats",
         [
           Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;

@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI entry point: build, full test suite, then a fast robustness smoke
+# (one scheme, 0.2s) to catch fault-injection / abandon regressions
+# end-to-end without the cost of the full experiment.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== robustness smoke (EBR, 0.2s) =="
+dune exec bin/cdrc_bench.exe -- robustness --duration 0.2 --schemes EBR --out ""
+
+echo "CI OK"
