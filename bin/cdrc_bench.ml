@@ -99,6 +99,52 @@ let robustness_cmd =
           abandon")
     Term.(const run $ duration_arg $ schemes_arg $ out_arg)
 
+let stats_cmd =
+  let exp_arg =
+    let doc = "Experiment to instrument: fig11, fig13a-f, fig12 or robustness." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit one JSON object (run output suppressed) instead of the metric tree.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate the exported trace JSONL and assert required metric keys are \
+             nonzero; exit 1 on failure.")
+  in
+  let run threads duration schemes scale json check exp =
+    let code =
+      Workload.Experiments.run_stats ~threads ~duration ~schemes ~scale ~json ~check exp
+    in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run an experiment with telemetry enabled: metric tree, reclamation-latency \
+          percentiles, and an event trace in results/trace-<EXPERIMENT>.jsonl")
+    Term.(
+      const run $ threads_arg $ duration_arg $ schemes_arg $ scale_arg $ json_arg
+      $ check_arg $ exp_arg)
+
+let obs_overhead_cmd =
+  let repeats_arg =
+    Arg.(value & opt int 3 & info [ "repeats" ] ~docv:"N" ~doc:"Repeats per mode (median reported).")
+  in
+  let run threads duration repeats =
+    let threads = match threads with t :: _ -> t | [] -> 2 in
+    ignore (Workload.Experiments.run_obs_overhead ~threads ~duration ~repeats ())
+  in
+  Cmd.v
+    (Cmd.info "obs-overhead"
+       ~doc:"Measure the telemetry layer's cost (disabled vs enabled) on the Treiber kernel")
+    Term.(const run $ threads_arg $ duration_arg $ repeats_arg)
+
 let custom_cmd =
   let structure_arg =
     let structure_conv =
@@ -159,7 +205,7 @@ let () =
     List.map run_set_exp_cmd Workload.Experiments.set_experiments
     @ [
         fig12_cmd; abl_sticky_cmd; abl_epochfreq_cmd; abl_hpslots_cmd; ext_stack_cmd;
-        robustness_cmd; custom_cmd;
+        robustness_cmd; stats_cmd; obs_overhead_cmd; custom_cmd;
       ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -22,6 +22,11 @@ module Make (S : Smr.Smr_intf.S) = struct
 
   type t = { smr : S.t; heap : Simheap.t }
 
+  (* AR-level eject batch sizes: unlike the scheme-level histogram this
+     sees the batches the *data structure* drains, i.e. after any
+     fault-injection wrapper has had its say. *)
+  let eject_batch_h = Obs.Histo.histo ("ar." ^ String.lowercase_ascii S.name ^ ".eject.batch_size")
+
   (** A value under acquire–retire management. [alloc] is part of the
       Fig 2 interface because IBR and HE must tag each object with a
       birth epoch at allocation time. *)
@@ -103,7 +108,10 @@ module Make (S : Smr.Smr_intf.S) = struct
   let retire_free t ~pid (m : _ managed) =
     retire t ~pid m (fun _pid -> Simheap.free m.block)
 
-  let eject ?force t ~pid = S.eject ?force t.smr ~pid
+  let eject ?force t ~pid =
+    let ops = S.eject ?force t.smr ~pid in
+    (match ops with [] -> () | _ -> Obs.Histo.observe eject_batch_h ~pid (List.length ops));
+    ops
 
   (** Run every ejectable deferred operation. Safe against cascades:
       operations executed here may retire further objects; we loop
@@ -141,18 +149,11 @@ module Make (S : Smr.Smr_intf.S) = struct
       Hyaline) never report stuck: their garbage is already bounded per
       stalled thread. *)
 
-  type watchdog = {
-    threshold : int;
-    slack : int;
-    mutable last_frontier : int;
-    mutable baseline : int; (* pending when the frontier last moved *)
-    mutable strikes : int;
-  }
+  type watchdog = Obs.Watchdog.t
 
   type watchdog_verdict = Progressing | Stuck of { frontier : int; pending : int }
 
-  let watchdog ?(threshold = 3) ?(slack = 256) () =
-    { threshold; slack; last_frontier = min_int; baseline = max_int; strikes = 0 }
+  let watchdog ?threshold ?slack () = Obs.Watchdog.create ?threshold ?slack ~scheme:S.name ()
 
   let total_pending t =
     let n = S.max_threads t.smr in
@@ -162,23 +163,18 @@ module Make (S : Smr.Smr_intf.S) = struct
     done;
     !acc
 
+  (* The verdict counters, the bounded string sink drained by the
+     workload driver, and the trace event all live in [Obs.Watchdog];
+     here we only re-expose its verdict under this functor's historical
+     constructors. *)
   let watchdog_check t (w : watchdog) =
     match S.reclamation_frontier t.smr with
     | None -> Progressing
-    | Some frontier ->
+    | Some frontier -> (
         let pending = total_pending t in
-        if frontier <> w.last_frontier then begin
-          w.last_frontier <- frontier;
-          w.baseline <- pending;
-          w.strikes <- 0;
-          Progressing
-        end
-        else begin
-          w.strikes <- w.strikes + 1;
-          if w.strikes >= w.threshold && pending >= w.baseline + w.slack then
-            Stuck { frontier; pending }
-          else Progressing
-        end
+        match Obs.Watchdog.check w ~pid:0 ~frontier ~pending with
+        | Obs.Watchdog.Progressing -> Progressing
+        | Obs.Watchdog.Stuck { frontier; pending } -> Stuck { frontier; pending })
 
   (** Teardown at quiescence: apply every pending deferred operation,
       including cascades. Requires no concurrent activity. *)

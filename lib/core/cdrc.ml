@@ -28,6 +28,18 @@ module Make (S : Smr.Smr_intf.S) = struct
 
   let scheme_name = "RC" ^ S.name
 
+  (* Registry mirrors of this runtime's counters. The padded per-rt
+     [snap_fast]/[snap_slow] fields below stay authoritative for
+     [snapshot_stats] (they are unconditional and per-instance); the
+     registry copies are the globally-collected view the [stats] CLI
+     reports, and like all telemetry they only move when enabled. *)
+  let mprefix = "cdrc." ^ String.lowercase_ascii scheme_name ^ "."
+  let snap_fast_c = Obs.Metrics.counter (mprefix ^ "snapshot.fast")
+  let snap_slow_c = Obs.Metrics.counter (mprefix ^ "snapshot.slow")
+  let dec_deferred_c = Obs.Metrics.counter (mprefix ^ "decrement.deferred")
+  let weak_dec_deferred_c = Obs.Metrics.counter (mprefix ^ "weak_decrement.deferred")
+  let dispose_deferred_c = Obs.Metrics.counter (mprefix ^ "dispose.deferred")
+
   exception Use_after_drop of string
   (** Raised when a dropped (or moved-from) pointer is used again —
       the analogue of C++ use-after-destructor UB, made loud. *)
@@ -59,6 +71,7 @@ module Make (S : Smr.Smr_intf.S) = struct
        paths, per thread — the mechanism behind the paper's Fig 11. *)
     snap_fast : int Repro_util.Padded.t;
     snap_slow : int Repro_util.Padded.t;
+    wd : Obs.Watchdog.t; (* reclamation-progress watchdog over strong_ar *)
   }
 
   type thr = { rt : rt; pid : int }
@@ -80,6 +93,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       nthreads = max_threads;
       snap_fast = Repro_util.Padded.create max_threads 0;
       snap_slow = Repro_util.Padded.create max_threads 0;
+      wd = Obs.Watchdog.create ~scheme:scheme_name ();
     }
 
   let thread rt pid =
@@ -147,16 +161,19 @@ module Make (S : Smr.Smr_intf.S) = struct
   and weak_decrement rt ~pid:_ cb = if Counter.decrement cb.weak then free_cb rt cb
 
   and delayed_decrement rt ~pid cb =
+    Obs.Metrics.incr dec_deferred_c ~pid;
     S.retire rt.strong_ar ~pid (Ident.of_val cb) ~birth:cb.birth_strong (fun epid ->
         decrement rt ~pid:epid cb);
     enqueue_all rt ~pid (S.eject rt.strong_ar ~pid)
 
   and delayed_weak_decrement rt ~pid cb =
+    Obs.Metrics.incr weak_dec_deferred_c ~pid;
     S.retire rt.weak_ar ~pid (Ident.of_val cb) ~birth:cb.birth_weak (fun epid ->
         weak_decrement rt ~pid:epid cb);
     enqueue_all rt ~pid (S.eject rt.weak_ar ~pid)
 
   and delayed_dispose rt ~pid cb =
+    Obs.Metrics.incr dispose_deferred_c ~pid;
     S.retire rt.dispose_ar ~pid (Ident.of_val cb) ~birth:cb.birth_dispose (fun epid ->
         dispose rt ~pid:epid cb);
     enqueue_all rt ~pid (S.eject rt.dispose_ar ~pid)
@@ -543,14 +560,15 @@ module Make (S : Smr.Smr_intf.S) = struct
       ignore t;
       slot_cas c.asp (Ptr.with_mark expected false) (Ptr.with_mark expected true)
 
-    let bump counter (t : thr) =
-      Repro_util.Padded.set counter t.pid (Repro_util.Padded.get counter t.pid + 1)
+    let bump counter mirror (t : thr) =
+      Repro_util.Padded.set counter t.pid (Repro_util.Padded.get counter t.pid + 1);
+      Obs.Metrics.incr mirror ~pid:t.pid
 
     (* Fig 5 get_snapshot *)
     let get_snapshot (t : thr) (c : 'a t) : 'a snapshot =
       match try_protect_load t.rt.strong_ar ~pid:t.pid c.asp with
       | Some (v, g) -> (
-          bump t.rt.snap_fast t;
+          bump t.rt.snap_fast snap_fast_c t;
           match cb_of v with
           | None ->
               S.release t.rt.strong_ar ~pid:t.pid g;
@@ -559,7 +577,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       | None -> (
           (* Slow path: protect with the reserved slot, take a real
              count, release the slot (Fig 5 lines 8–11). *)
-          bump t.rt.snap_slow t;
+          bump t.rt.snap_slow snap_slow_c t;
           let v, g = protect_load t.rt.strong_ar ~pid:t.pid c.asp in
           match cb_of v with
           | None ->
@@ -890,6 +908,33 @@ module Make (S : Smr.Smr_intf.S) = struct
   let snapshot_stats rt =
     ( Repro_util.Padded.fold ( + ) 0 rt.snap_fast,
       Repro_util.Padded.fold ( + ) 0 rt.snap_slow )
+
+  (** Deferred decrements/disposals currently parked across the three
+      acquire–retire instances. For Hyaline the per-pid count is
+      already global, so this overcounts by the thread count there —
+      fine for the backlog gauge it feeds, which tracks trend, not an
+      exact census. *)
+  let retired_backlog rt =
+    let sum ar =
+      let acc = ref 0 in
+      for pid = 0 to rt.nthreads - 1 do
+        acc := !acc + S.retired_count ar ~pid
+      done;
+      !acc
+    in
+    sum rt.strong_ar + sum rt.weak_ar + sum rt.dispose_ar
+
+  let watchdog_check rt =
+    match S.reclamation_frontier rt.strong_ar with
+    | None -> None
+    | Some frontier -> (
+        let pending = retired_backlog rt in
+        match Obs.Watchdog.check rt.wd ~pid:0 ~frontier ~pending with
+        | Obs.Watchdog.Progressing -> None
+        | Obs.Watchdog.Stuck { frontier; pending } ->
+            Some
+              (Printf.sprintf "%s: stuck (frontier=%d pending=%d)" scheme_name frontier
+                 pending))
 end
 
 (** Re-export of the scheme-agnostic public signature (the [cdrc]

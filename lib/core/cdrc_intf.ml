@@ -42,6 +42,16 @@ module type S = sig
   (** (fast guard-protected snapshots, slow count-incrementing
       snapshots) since creation — the Fig 11 fallback mechanism. *)
 
+  val retired_backlog : rt -> int
+  (** Deferred decrements/disposals currently parked in the runtime's
+      acquire–retire instances, summed over all threads. *)
+
+  val watchdog_check : rt -> string option
+  (** Sample the runtime's reclamation-progress watchdog: [Some verdict]
+      when the underlying scheme's frontier has been stuck while the
+      deferred-operation backlog grew (see [Obs.Watchdog]); [None]
+      otherwise. *)
+
   (** {1 Pointer values} *)
 
   type 'a ptr

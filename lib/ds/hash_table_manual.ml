@@ -62,5 +62,6 @@ module Make (S : Smr.Smr_intf.S) = struct
   let uaf_events _ = 0
 
   let snapshot_stats _ = None
-
+  let retired_backlog t = L.retired_backlog t.list
+  let watchdog_check t = L.watchdog_check t.list
 end

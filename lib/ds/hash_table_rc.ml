@@ -53,5 +53,6 @@ module Make (R : Cdrc.Intf.S) = struct
   let uaf_events _ = 0
 
   let snapshot_stats t = Some (R.snapshot_stats t.list.L.rt)
-
+  let retired_backlog t = R.retired_backlog t.list.L.rt
+  let watchdog_check t = R.watchdog_check t.list.L.rt
 end

@@ -23,7 +23,7 @@ module Make (S : Smr.Smr_intf.S) = struct
   type node = { key : int; next : link Atomic.t }
   and link = { dest : node Ar.managed option; marked : bool }
 
-  type t = { ar : Ar.t; head : link Atomic.t; nthreads : int }
+  type t = { ar : Ar.t; head : link Atomic.t; nthreads : int; wd : Ar.watchdog }
   type ctx = { t : t; pid : int }
 
   let null_link = { dest = None; marked = false }
@@ -33,6 +33,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       ar = Ar.create ?slots_per_thread ?epoch_freq ~max_threads ();
       head = Atomic.make null_link;
       nthreads = max_threads;
+      wd = Ar.watchdog ();
     }
 
   let ctx t pid = { t; pid }
@@ -379,5 +380,11 @@ module Make (S : Smr.Smr_intf.S) = struct
   let uaf_events _ = 0
 
   let snapshot_stats _ = None
+  let retired_backlog t = Ar.total_pending t.ar
 
+  let watchdog_check t =
+    match Ar.watchdog_check t.ar t.wd with
+    | Ar.Progressing -> None
+    | Ar.Stuck { frontier; pending } ->
+        Some (Printf.sprintf "%s: stuck (frontier=%d pending=%d)" name frontier pending)
 end

@@ -48,6 +48,7 @@ module Make (S : Smr.Smr_intf.S) = struct
     root : node Ar.managed; (* the R sentinel; never retired *)
     uaf : int Atomic.t; (* unsafe-scheme violations caught and retried *)
     nthreads : int;
+    wd : Ar.watchdog;
   }
 
   type ctx = { t : t; pid : int; mutable held : S.guard list }
@@ -67,7 +68,7 @@ module Make (S : Smr.Smr_intf.S) = struct
     let l_inf2b = mk_leaf ar ~pid:0 inf2 in
     let s = mk_internal ar ~pid:0 inf1 l_inf1 l_inf2a in
     let r = mk_internal ar ~pid:0 inf2 s l_inf2b in
-    { ar; root = r; uaf = Atomic.make 0; nthreads = max_threads }
+    { ar; root = r; uaf = Atomic.make 0; nthreads = max_threads; wd = Ar.watchdog () }
 
   let ctx t pid = { t; pid; held = [] }
   let uaf_events t = Atomic.get t.uaf
@@ -451,5 +452,11 @@ module Make (S : Smr.Smr_intf.S) = struct
     free_rec t.root;
     Ar.quiesce t.ar
   let snapshot_stats _ = None
+  let retired_backlog t = Ar.total_pending t.ar
 
+  let watchdog_check t =
+    match Ar.watchdog_check t.ar t.wd with
+    | Ar.Progressing -> None
+    | Ar.Stuck { frontier; pending } ->
+        Some (Printf.sprintf "%s: stuck (frontier=%d pending=%d)" name frontier pending)
 end

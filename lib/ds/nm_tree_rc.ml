@@ -343,5 +343,6 @@ module Make (R : Cdrc.Intf.S) = struct
     R.Shared.drop th t.root;
     R.quiesce t.rt
   let snapshot_stats t = Some (R.snapshot_stats t.rt)
-
+  let retired_backlog t = R.retired_backlog t.rt
+  let watchdog_check t = R.watchdog_check t.rt
 end

@@ -61,6 +61,18 @@ module type S = sig
       the NM tree under the unsafe schemes — paper §5.1's "occasionally
       crash" caveat). *)
 
+  val retired_backlog : t -> int
+  (** Entries retired but not yet reclaimed, summed over all threads —
+      the quantity the driver's sampler publishes as the
+      [driver.retired_backlog] gauge. *)
+
+  val watchdog_check : t -> string option
+  (** Sample the structure's reclamation-progress watchdog ([Some
+      verdict] when reclamation is stuck behind a pinned frontier while
+      garbage accumulates, [None] otherwise). The driver's sampler
+      calls this periodically and collects verdicts into
+      [result.watchdog_verdicts]. *)
+
   val teardown : t -> unit
   (** Free every node and apply all deferred operations; afterwards
       [live_objects t = 0] unless the structure leaked. Quiescent-only. *)

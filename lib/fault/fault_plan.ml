@@ -26,6 +26,22 @@ let site_index = function
   | On_eject -> 3
   | On_alloc -> 4
 
+let site_name = function
+  | On_begin_cs -> "begin_cs"
+  | On_confirm -> "confirm"
+  | On_retire -> "retire"
+  | On_eject -> "eject"
+  | On_alloc -> "alloc"
+
+let action_name = function
+  | Stall 0 -> "stall(forever)"
+  | Stall n -> Printf.sprintf "stall(%d)" n
+  | Delay n -> Printf.sprintf "delay(%d)" n
+  | Crash -> "crash"
+  | Drop_eject n -> Printf.sprintf "drop_eject(%d)" n
+
+let fired_c = Obs.Metrics.counter "fault.fired"
+
 type t = {
   rules : rule list;
   hits : int array array; (* site x pid, owner-pid only *)
@@ -87,6 +103,9 @@ let hit t site ~pid =
   | None -> None
   | Some r ->
       record t { ev_step = step; ev_site = site; ev_pid = pid; ev_hit = h; ev_action = r.action };
+      Obs.Metrics.incr fired_c ~pid;
+      Obs.Trace.emit ~pid
+        (Obs.Trace.Fault { site = site_name site; action = action_name r.action });
       (match r.action with
       | Stall n -> Atomic.set t.stalled_until.(pid) (if n <= 0 then max_int else step + n)
       | Crash -> t.crashed.(pid) <- true
@@ -131,21 +150,8 @@ let random ~seed ?(rules = 3) ~max_threads () =
   in
   create (List.init rules (fun _ -> rule ()))
 
-let pp_site ppf s =
-  Format.pp_print_string ppf
-    (match s with
-    | On_begin_cs -> "begin_cs"
-    | On_confirm -> "confirm"
-    | On_retire -> "retire"
-    | On_eject -> "eject"
-    | On_alloc -> "alloc")
-
-let pp_action ppf = function
-  | Stall 0 -> Format.fprintf ppf "stall(forever)"
-  | Stall n -> Format.fprintf ppf "stall(%d)" n
-  | Delay n -> Format.fprintf ppf "delay(%d)" n
-  | Crash -> Format.fprintf ppf "crash"
-  | Drop_eject n -> Format.fprintf ppf "drop_eject(%d)" n
+let pp_site ppf s = Format.pp_print_string ppf (site_name s)
+let pp_action ppf a = Format.pp_print_string ppf (action_name a)
 
 let pp_event ppf e =
   Format.fprintf ppf "step=%d pid=%d %a#%d -> %a" e.ev_step e.ev_pid pp_site e.ev_site

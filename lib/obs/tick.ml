@@ -1,0 +1,32 @@
+(* The telemetry clock. Wall time would make every histogram
+   non-reproducible, so latencies are measured in *operation ticks*: a
+   counter bumped once per retire (see [Scheme_metrics]). A reclamation
+   latency of 500 then reads "this entry survived 500 subsequent
+   retires before its deferred operation ran" — exactly the
+   bounded-garbage quantity the paper's §2 argues about, and identical
+   across runs with a fixed seed and single domain.
+
+   The clock is sharded into plain single-writer cells, like the
+   [Metrics] counters: a bump is one unfenced store by the retiring
+   pid, and [now] sums the cells. Cross-domain reads may see a slightly
+   stale sum — an error of at most the few in-flight bumps, which is
+   noise at histogram bucket resolution — while the single-domain reads
+   the deterministic tests rely on are exact. *)
+
+let shards = 16
+let shard_mask = shards - 1
+let stride = 8 (* cache-line padding, one live int per stride *)
+let cells = Array.make (shards * stride) 0
+
+let bump ~pid =
+  let i = (pid land shard_mask) * stride in
+  Array.unsafe_set cells i (Array.unsafe_get cells i + 1)
+
+let now () =
+  let s = ref 0 in
+  for i = 0 to shards - 1 do
+    s := !s + Array.unsafe_get cells (i * stride)
+  done;
+  !s
+
+let reset () = Array.fill cells 0 (Array.length cells) 0

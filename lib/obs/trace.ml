@@ -1,0 +1,158 @@
+(* Bounded per-domain event rings.
+
+   Each pid owns a ring of [capacity] entries, written only by that pid
+   (owner-write), so recording an event is: one global fetch-and-add
+   for the sequence number, one store into the ring slot, one bump of
+   the local cursor. When the ring wraps, the oldest events are
+   overwritten — the trace is a flight recorder, not a log. Export
+   collects all rings, sorts by sequence number, and emits JSONL; the
+   sequence gives a single global order without the writers ever
+   synchronizing on more than the one counter.
+
+   Rings are indexed by [pid land (max_pids - 1)]; OCaml domain ids
+   grow monotonically across a process's lifetime, so two pids *can*
+   collide on a ring in long sessions — each entry carries its real
+   pid, so a collision interleaves two domains' events in one ring
+   rather than misattributing them. *)
+
+let capacity = 4096
+let max_pids = 128
+let ring_mask = max_pids - 1
+
+type ev =
+  | Acquire of { scheme : string }
+  | Confirm_retry of { scheme : string }
+  | Retire of { scheme : string }
+  | Eject of { scheme : string; batch : int }
+  | Abandon of { scheme : string }
+  | Watchdog of { scheme : string; verdict : string }
+  | Fault of { site : string; action : string }
+  | Sample of { t_ms : int; ops_per_s : int; live : int; backlog : int }
+
+type entry = { seq : int; e_pid : int; ev : ev }
+
+type ring = {
+  slots : entry option array;
+  mutable cursor : int;
+  mutable written : int;
+  mutable tick : int; (* sampling clock for hot-path events, owner-written *)
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+let seq = Atomic.make 0
+let rings : ring option Atomic.t array = Array.init max_pids (fun _ -> Atomic.make None)
+
+let ring_for pid =
+  let i = pid land ring_mask in
+  match Atomic.get rings.(i) with
+  | Some r -> r
+  | None ->
+      let r = { slots = Array.make capacity None; cursor = 0; written = 0; tick = 0 } in
+      (* A CAS loss means another pid sharing this index raced us to
+         install a ring; use theirs. *)
+      if Atomic.compare_and_set rings.(i) None (Some r) then r
+      else Option.get (Atomic.get rings.(i))
+
+let emit ~pid ev =
+  if Atomic.get enabled_flag then begin
+    let r = ring_for pid in
+    let s = Atomic.fetch_and_add seq 1 in
+    r.slots.(r.cursor) <- Some { seq = s; e_pid = pid; ev };
+    r.cursor <- (r.cursor + 1) mod capacity;
+    r.written <- r.written + 1
+  end
+
+(* Per-operation events (acquire, retire) fire millions of times a
+   second; recording each one would roughly double the cost of the
+   operations being observed. Hot call sites therefore gate their
+   [emit] on this predicate, which keeps 1 in [2^sample_shift] events
+   per ring and — crucially — allocates nothing on the skipped 31/32:
+   the caller only constructs the event value after a [true]. Rare
+   events (eject, abandon, watchdog, fault, sample) keep full fidelity
+   by calling [emit] directly. *)
+let sample_shift = 5
+
+let should_sample ~pid =
+  Atomic.get enabled_flag
+  &&
+  let r = ring_for pid in
+  r.tick <- r.tick + 1;
+  r.tick land ((1 lsl sample_shift) - 1) = 0
+
+let reset () =
+  Atomic.set seq 0;
+  Array.iter (fun cell -> Atomic.set cell None) rings
+
+(** Total events recorded since the last [reset], including ones that
+    have since been overwritten. *)
+let emitted () = Atomic.get seq
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let fields_of_ev = function
+  | Acquire { scheme } -> ("acquire", [ ("scheme", `S scheme) ])
+  | Confirm_retry { scheme } -> ("confirm_retry", [ ("scheme", `S scheme) ])
+  | Retire { scheme } -> ("retire", [ ("scheme", `S scheme) ])
+  | Eject { scheme; batch } -> ("eject", [ ("scheme", `S scheme); ("batch", `I batch) ])
+  | Abandon { scheme } -> ("abandon", [ ("scheme", `S scheme) ])
+  | Watchdog { scheme; verdict } ->
+      ("watchdog", [ ("scheme", `S scheme); ("verdict", `S verdict) ])
+  | Fault { site; action } -> ("fault", [ ("site", `S site); ("action", `S action) ])
+  | Sample { t_ms; ops_per_s; live; backlog } ->
+      ( "sample",
+        [ ("t_ms", `I t_ms); ("ops_per_s", `I ops_per_s); ("live", `I live); ("backlog", `I backlog) ] )
+
+let entry_to_json { seq; e_pid; ev } =
+  let kind, fields = fields_of_ev ev in
+  let b = Buffer.create 96 in
+  Buffer.add_string b (Printf.sprintf {|{"seq":%d,"pid":%d,"ev":"%s"|} seq e_pid kind);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b
+        (match v with
+        | `S s -> Printf.sprintf {|,"%s":"%s"|} k (json_escape s)
+        | `I i -> Printf.sprintf {|,"%s":%d|} k i))
+    fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(** All surviving entries across all rings, in global sequence order. *)
+let entries () =
+  let acc = ref [] in
+  Array.iter
+    (fun cell ->
+      match Atomic.get cell with
+      | None -> ()
+      | Some r -> Array.iter (function None -> () | Some e -> acc := e :: !acc) r.slots)
+    rings;
+  List.sort (fun a b -> compare a.seq b.seq) !acc
+
+let to_jsonl () = entries () |> List.map entry_to_json
+
+let export_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let n = ref 0 in
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n';
+          incr n)
+        (to_jsonl ());
+      !n)

@@ -1,0 +1,34 @@
+(* Bounded sink for watchdog Stuck verdicts, drained by the workload
+   driver into [result.watchdog_verdicts]. Bounded because a wedged
+   reader thread can trip the watchdog on every check for the rest of a
+   long run; after [max_kept] verdicts the rest are counted but
+   dropped. *)
+
+let max_kept = 64
+let lock = Mutex.create ()
+let kept : string list ref = ref []
+let n_kept = ref 0
+let dropped = ref 0
+
+let record s =
+  Mutex.lock lock;
+  if !n_kept < max_kept then begin
+    kept := s :: !kept;
+    incr n_kept
+  end
+  else incr dropped;
+  Mutex.unlock lock
+
+(** Verdicts recorded since the last drain, oldest first; resets the
+    sink. *)
+let drain () =
+  Mutex.lock lock;
+  let vs = List.rev !kept in
+  let d = !dropped in
+  kept := [];
+  n_kept := 0;
+  dropped := 0;
+  Mutex.unlock lock;
+  if d > 0 then vs @ [ Printf.sprintf "(+%d more verdicts dropped)" d ] else vs
+
+let reset () = ignore (drain ())

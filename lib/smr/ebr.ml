@@ -1,6 +1,8 @@
 module Padded = Repro_util.Padded
 
 let name = "EBR"
+let om = Obs.Scheme_metrics.v name
+let epoch_advances = Obs.Metrics.counter "smr.ebr.epoch_advance"
 let is_protected_region = true
 let confirm_is_trivial = true
 let requires_validation = false
@@ -33,7 +35,9 @@ let create ?(epoch_freq = 10) ?(cleanup_freq = 64) ?slots_per_thread:_ ~max_thre
 
 let max_threads t = t.max_threads
 let current_epoch t = Atomic.get t.cur_epoch
-let advance_epoch t = ignore (Atomic.fetch_and_add t.cur_epoch 1)
+let advance_epoch t =
+  ignore (Atomic.fetch_and_add t.cur_epoch 1);
+  Obs.Metrics.incr epoch_advances ~pid:0
 
 let begin_critical_section t ~pid =
   (* Announcing a possibly stale epoch is conservative-safe: it only
@@ -48,14 +52,22 @@ let alloc_hook t ~pid =
   if tally mod t.epoch_freq = 0 then advance_epoch t;
   0
 
-let try_acquire _t ~pid:_ _id = Some 0
-let acquire _t ~pid:_ _id = 0
+let try_acquire _t ~pid _id =
+  Obs.Scheme_metrics.on_acquire om ~pid;
+  Some 0
+
+let acquire _t ~pid _id =
+  Obs.Scheme_metrics.on_acquire om ~pid;
+  0
+
 let confirm _t ~pid:_ _g _id = true
 let release _t ~pid:_ _g = ()
 
 let min_announced t = Padded.fold min max_int t.ann
 
-let retire t ~pid _id ~birth:_ op = Retire_queue.push t.retired.(pid) (Atomic.get t.cur_epoch) op
+let retire t ~pid _id ~birth:_ op =
+  let op = Obs.Scheme_metrics.on_retire om ~pid op in
+  Retire_queue.push t.retired.(pid) (Atomic.get t.cur_epoch) op
 
 (* Adopt orphaned entries against the same safety predicate; the
    still-protected remainder goes back to the pool. *)
@@ -73,13 +85,14 @@ let eject ?(force = false) t ~pid =
     let min_ann = min_announced t in
     let safe e = e < min_ann in
     (* Retire epochs are monotone within a thread's queue. *)
-    Retire_queue.pop_prefix q ~safe @ adopt_orphans t ~safe
+    Obs.Scheme_metrics.on_eject om ~pid (Retire_queue.pop_prefix q ~safe @ adopt_orphans t ~safe)
   end
   else []
 
 let retired_count t ~pid = Retire_queue.size t.retired.(pid)
 
 let abandon t ~pid =
+  Obs.Scheme_metrics.on_abandon om ~pid;
   Padded.set t.ann pid empty_ann;
   Orphanage.put t.orphans (Retire_queue.drain_with_meta t.retired.(pid))
 

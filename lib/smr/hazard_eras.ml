@@ -1,6 +1,8 @@
 module Padded = Repro_util.Padded
 
 let name = "HE"
+let om = Obs.Scheme_metrics.v name
+let epoch_advances = Obs.Metrics.counter "smr.he.epoch_advance"
 let is_protected_region = false
 let confirm_is_trivial = false
 let requires_validation = true
@@ -39,7 +41,9 @@ let create ?(epoch_freq = 40) ?(cleanup_freq = 64) ?(slots_per_thread = 8) ~max_
 
 let max_threads t = t.max_threads
 let current_era t = Atomic.get t.era
-let advance_era t = ignore (Atomic.fetch_and_add t.era 1)
+let advance_era t =
+  ignore (Atomic.fetch_and_add t.era 1);
+  Obs.Metrics.incr epoch_advances ~pid:0
 let slot_index t ~pid local = (pid * (t.k + 1)) + local
 let begin_critical_section _t ~pid:_ = ()
 let end_critical_section _t ~pid:_ = ()
@@ -52,13 +56,17 @@ let alloc_hook t ~pid =
 
 let try_acquire t ~pid _id =
   match t.free.(pid) with
-  | [] -> None
+  | [] ->
+      Obs.Scheme_metrics.on_slot_exhausted om ~pid;
+      None
   | s :: rest ->
       t.free.(pid) <- rest;
+      Obs.Scheme_metrics.on_acquire om ~pid;
       Padded.set t.slots (slot_index t ~pid s) (Atomic.get t.era);
       Some s
 
 let acquire t ~pid _id =
+  Obs.Scheme_metrics.on_acquire om ~pid;
   Padded.set t.slots (slot_index t ~pid t.k) (Atomic.get t.era);
   t.k
 
@@ -72,6 +80,7 @@ let confirm t ~pid g _id =
   let cur = Atomic.get t.era in
   if announced = cur then true
   else begin
+    Obs.Scheme_metrics.on_confirm_retry om ~pid;
     Padded.set t.slots idx cur;
     false
   end
@@ -80,7 +89,9 @@ let release t ~pid g =
   Padded.set t.slots (slot_index t ~pid g) empty_era;
   if g < t.k then t.free.(pid) <- g :: t.free.(pid)
 
-let retire t ~pid _id ~birth op = Retire_queue.push t.retired.(pid) (birth, Atomic.get t.era) op
+let retire t ~pid _id ~birth op =
+  let op = Obs.Scheme_metrics.on_retire om ~pid op in
+  Retire_queue.push t.retired.(pid) (birth, Atomic.get t.era) op
 
 let eject ?(force = false) t ~pid =
   let q = t.retired.(pid) in
@@ -103,13 +114,14 @@ let eject ?(force = false) t ~pid =
           Orphanage.put t.orphans blocked;
           List.map snd ready
     in
-    Retire_queue.filter_pop q ~safe @ adopted
+    Obs.Scheme_metrics.on_eject om ~pid (Retire_queue.filter_pop q ~safe @ adopted)
   end
   else []
 
 let retired_count t ~pid = Retire_queue.size t.retired.(pid)
 
 let abandon t ~pid =
+  Obs.Scheme_metrics.on_abandon om ~pid;
   for s = 0 to t.k do
     Padded.set t.slots (slot_index t ~pid s) empty_era
   done;

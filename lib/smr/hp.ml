@@ -1,6 +1,7 @@
 module Padded = Repro_util.Padded
 
 let name = "HP"
+let om = Obs.Scheme_metrics.v name
 let is_protected_region = false
 let confirm_is_trivial = false
 let requires_validation = true
@@ -40,15 +41,19 @@ let alloc_hook _t ~pid:_ = 0
 
 let try_acquire t ~pid id =
   match t.free.(pid) with
-  | [] -> None
+  | [] ->
+      Obs.Scheme_metrics.on_slot_exhausted om ~pid;
+      None
   | s :: rest ->
       t.free.(pid) <- rest;
+      Obs.Scheme_metrics.on_acquire om ~pid;
       (* Atomic.set is seq_cst: the announcement is globally visible
          before the caller's revalidating re-read. *)
       Padded.set t.slots (slot_index t ~pid s) id;
       Some s
 
 let acquire t ~pid id =
+  Obs.Scheme_metrics.on_acquire om ~pid;
   Padded.set t.slots (slot_index t ~pid t.k) id;
   t.k
 
@@ -56,6 +61,7 @@ let confirm t ~pid g id =
   let idx = slot_index t ~pid g in
   if Ident.equal (Padded.get t.slots idx) id then true
   else begin
+    Obs.Scheme_metrics.on_confirm_retry om ~pid;
     Padded.set t.slots idx id;
     false
   end
@@ -67,7 +73,9 @@ let release t ~pid g =
 let announced_count t =
   Padded.fold (fun acc id -> if Ident.is_null id then acc else acc + 1) 0 t.slots
 
-let retire t ~pid id ~birth:_ op = Retire_queue.push t.retired.(pid) id op
+let retire t ~pid id ~birth:_ op =
+  let op = Obs.Scheme_metrics.on_retire om ~pid op in
+  Retire_queue.push t.retired.(pid) id op
 
 let eject ?(force = false) t ~pid =
   let q = t.retired.(pid) in
@@ -92,13 +100,14 @@ let eject ?(force = false) t ~pid =
           Orphanage.put t.orphans blocked;
           List.map snd ready
     in
-    Retire_queue.filter_pop q ~safe @ adopted
+    Obs.Scheme_metrics.on_eject om ~pid (Retire_queue.filter_pop q ~safe @ adopted)
   end
   else []
 
 let retired_count t ~pid = Retire_queue.size t.retired.(pid)
 
 let abandon t ~pid =
+  Obs.Scheme_metrics.on_abandon om ~pid;
   for s = 0 to t.k do
     Padded.set t.slots (slot_index t ~pid s) Ident.null
   done;

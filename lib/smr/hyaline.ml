@@ -1,6 +1,7 @@
 module Padded = Repro_util.Padded
 
 let name = "Hyaline"
+let om = Obs.Scheme_metrics.v name
 let is_protected_region = true
 let confirm_is_trivial = true
 let requires_validation = false
@@ -77,8 +78,15 @@ let rec end_critical_section t ~pid =
   end
 
 let alloc_hook _t ~pid:_ = 0
-let try_acquire _t ~pid:_ _id = Some 0
-let acquire _t ~pid:_ _id = 0
+
+let try_acquire _t ~pid _id =
+  Obs.Scheme_metrics.on_acquire om ~pid;
+  Some 0
+
+let acquire _t ~pid _id =
+  Obs.Scheme_metrics.on_acquire om ~pid;
+  0
+
 let confirm _t ~pid:_ _g _id = true
 let release _t ~pid:_ _g = ()
 
@@ -94,16 +102,17 @@ let rec retire t ~pid _id ~birth op =
   end
 
 let retire t ~pid id ~birth op =
+  let op = Obs.Scheme_metrics.on_retire om ~pid op in
   ignore (Atomic.fetch_and_add t.pending 1);
   retire t ~pid id ~birth op
 
-let eject ?force:_ t ~pid:_ =
+let eject ?force:_ t ~pid =
   match Atomic.get t.safe with
   | [] -> []
   | _ ->
       let ops = Atomic.exchange t.safe [] in
       ignore (Atomic.fetch_and_add t.pending (-List.length ops));
-      ops
+      Obs.Scheme_metrics.on_eject om ~pid ops
 
 (* Pending entries that are global rather than per-thread: report the
    whole count against every pid (documented in the interface). *)
@@ -113,7 +122,9 @@ let retired_count t ~pid:_ = Atomic.get t.pending
    global here), but an open critical section pins a unit of every
    stamp retired since it entered. Leaving on its behalf releases them
    — the adoption this scheme gets for free from its batch counting. *)
-let abandon t ~pid = if Padded.get t.in_cs pid then end_critical_section t ~pid
+let abandon t ~pid =
+  Obs.Scheme_metrics.on_abandon om ~pid;
+  if Padded.get t.in_cs pid then end_critical_section t ~pid
 
 let reclamation_frontier _t = None
 

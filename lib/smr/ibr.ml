@@ -1,6 +1,8 @@
 module Padded = Repro_util.Padded
 
 let name = "IBR"
+let om = Obs.Scheme_metrics.v name
+let epoch_advances = Obs.Metrics.counter "smr.ibr.epoch_advance"
 let is_protected_region = true
 let confirm_is_trivial = false
 let requires_validation = true
@@ -36,7 +38,9 @@ let create ?(epoch_freq = 40) ?(cleanup_freq = 64) ?slots_per_thread:_ ~max_thre
 
 let max_threads t = t.max_threads
 let current_epoch t = Atomic.get t.cur_epoch
-let advance_epoch t = ignore (Atomic.fetch_and_add t.cur_epoch 1)
+let advance_epoch t =
+  ignore (Atomic.fetch_and_add t.cur_epoch 1);
+  Obs.Metrics.incr epoch_advances ~pid:0
 
 let begin_critical_section t ~pid =
   let e = Atomic.get t.cur_epoch in
@@ -50,8 +54,13 @@ let alloc_hook t ~pid =
   if tally mod t.epoch_freq = 0 then advance_epoch t;
   Atomic.get t.cur_epoch
 
-let try_acquire _t ~pid:_ _id = Some 0
-let acquire _t ~pid:_ _id = 0
+let try_acquire _t ~pid _id =
+  Obs.Scheme_metrics.on_acquire om ~pid;
+  Some 0
+
+let acquire _t ~pid _id =
+  Obs.Scheme_metrics.on_acquire om ~pid;
+  0
 
 let confirm t ~pid _g _id =
   (* Fig 4: a read performed at the thread's announced upper epoch is
@@ -61,6 +70,7 @@ let confirm t ~pid _g _id =
   let a = Padded.get t.ann pid in
   if a.e = cur then true
   else begin
+    Obs.Scheme_metrics.on_confirm_retry om ~pid;
     Padded.set t.ann pid { a with e = cur };
     false
   end
@@ -68,6 +78,7 @@ let confirm t ~pid _g _id =
 let release _t ~pid:_ _g = ()
 
 let retire t ~pid _id ~birth op =
+  let op = Obs.Scheme_metrics.on_retire om ~pid op in
   Retire_queue.push t.retired.(pid) (birth, Atomic.get t.cur_epoch) op
 
 let adopt_orphans t ~safe =
@@ -86,13 +97,14 @@ let eject ?(force = false) t ~pid =
     let safe (birth, retired_at) =
       Array.for_all (fun a -> a.e < birth || a.b > retired_at) anns
     in
-    Retire_queue.filter_pop q ~safe @ adopt_orphans t ~safe
+    Obs.Scheme_metrics.on_eject om ~pid (Retire_queue.filter_pop q ~safe @ adopt_orphans t ~safe)
   end
   else []
 
 let retired_count t ~pid = Retire_queue.size t.retired.(pid)
 
 let abandon t ~pid =
+  Obs.Scheme_metrics.on_abandon om ~pid;
   Padded.set t.ann pid inactive;
   Orphanage.put t.orphans (Retire_queue.drain_with_meta t.retired.(pid))
 

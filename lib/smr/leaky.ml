@@ -1,4 +1,5 @@
 let name = "None"
+let om = Obs.Scheme_metrics.v name
 let is_protected_region = true
 let confirm_is_trivial = true
 let requires_validation = false
@@ -17,17 +18,32 @@ let max_threads t = t.max_threads
 let begin_critical_section _t ~pid:_ = ()
 let end_critical_section _t ~pid:_ = ()
 let alloc_hook _t ~pid:_ = 0
-let try_acquire _t ~pid:_ _id = Some 0
-let acquire _t ~pid:_ _id = 0
+let try_acquire _t ~pid _id =
+  Obs.Scheme_metrics.on_acquire om ~pid;
+  Some 0
+
+let acquire _t ~pid _id =
+  Obs.Scheme_metrics.on_acquire om ~pid;
+  0
+
 let confirm _t ~pid:_ _g _id = true
 let release _t ~pid:_ _g = ()
-let retire t ~pid _id ~birth:_ op = Retire_queue.push t.retired.(pid) () op
-let eject ?force:_ _t ~pid:_ = []
+
+let retire t ~pid _id ~birth:_ op =
+  let op = Obs.Scheme_metrics.on_retire om ~pid op in
+  Retire_queue.push t.retired.(pid) () op
+
+(* "Eject nothing, leak everything" is the scheme; still count the scan
+   so the accounting identity (retire = eject.ops + backlog) is
+   checkable for it too. *)
+let eject ?force:_ _t ~pid = Obs.Scheme_metrics.on_eject om ~pid []
 let retired_count t ~pid = Retire_queue.size t.retired.(pid)
 
 (* Nothing is announced and nothing ejects before teardown, but the
    parked entries still need a live owner for [drain_all] to find. *)
-let abandon t ~pid = Orphanage.put t.orphans (Retire_queue.drain_with_meta t.retired.(pid))
+let abandon t ~pid =
+  Obs.Scheme_metrics.on_abandon om ~pid;
+  Orphanage.put t.orphans (Retire_queue.drain_with_meta t.retired.(pid))
 let reclamation_frontier _t = None
 
 let drain_all t =

@@ -1,6 +1,7 @@
 module Padded = Repro_util.Padded
 
 let name = "PTB"
+let om = Obs.Scheme_metrics.v name
 let is_protected_region = false
 let confirm_is_trivial = false
 let requires_validation = true
@@ -40,13 +41,17 @@ let alloc_hook _t ~pid:_ = 0
 
 let try_acquire t ~pid id =
   match t.free.(pid) with
-  | [] -> None
+  | [] ->
+      Obs.Scheme_metrics.on_slot_exhausted om ~pid;
+      None
   | s :: rest ->
       t.free.(pid) <- rest;
+      Obs.Scheme_metrics.on_acquire om ~pid;
       Padded.set t.slots (slot_index t ~pid s) id;
       Some s
 
 let acquire t ~pid id =
+  Obs.Scheme_metrics.on_acquire om ~pid;
   Padded.set t.slots (slot_index t ~pid t.k) id;
   t.k
 
@@ -54,6 +59,7 @@ let confirm t ~pid g id =
   let idx = slot_index t ~pid g in
   if Ident.equal (Padded.get t.slots idx) id then true
   else begin
+    Obs.Scheme_metrics.on_confirm_retry om ~pid;
     Padded.set t.slots idx id;
     false
   end
@@ -68,7 +74,9 @@ let release t ~pid g =
   | None -> ());
   if g < t.k then t.free.(pid) <- g :: t.free.(pid)
 
-let retire t ~pid id ~birth:_ op = Retire_queue.push t.retired.(pid) id op
+let retire t ~pid id ~birth:_ op =
+  let op = Obs.Scheme_metrics.on_retire om ~pid op in
+  Retire_queue.push t.retired.(pid) id op
 
 (* Liberate: unguarded entries are safe; guarded ones are handed off to
    the guard that pins them (at most one buck per guard — otherwise the
@@ -113,13 +121,14 @@ let eject ?(force = false) t ~pid =
         end)
       (Orphanage.take_all t.orphans @ Retire_queue.drain_with_meta q);
     List.iter (fun (id, op) -> Retire_queue.push q id op) (List.rev !keep);
-    List.rev !safe
+    Obs.Scheme_metrics.on_eject om ~pid (List.rev !safe)
   end
   else []
 
 let retired_count t ~pid = Retire_queue.size t.retired.(pid)
 
 let abandon t ~pid =
+  Obs.Scheme_metrics.on_abandon om ~pid;
   (* Clear the dead thread's posted guards, reclaiming any buck that
      was handed off to them along the way. *)
   let parked = ref [] in

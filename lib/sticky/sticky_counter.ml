@@ -5,6 +5,13 @@ let zero_flag = 1 lsl 61
 let help_flag = 1 lsl 60
 let max_value = help_flag - 1
 
+(* Sticky counters have no pid in their API; shard telemetry by the
+   calling domain instead. *)
+let stick_c = Obs.Metrics.counter "sticky.stick"
+let cas_fail_c = Obs.Metrics.counter "sticky.cas_fail"
+let help_c = Obs.Metrics.counter "sticky.help"
+let self_pid () = (Domain.self () :> int)
+
 let create n =
   if n < 0 || n > max_value then invalid_arg "Sticky_counter.create";
   Atomic.make (if n = 0 then zero_flag else n)
@@ -17,8 +24,12 @@ let rec decrement_slow t =
   (* Stored value hit 0: try to announce death by setting the zero
      flag. If the CAS fails, either an increment revived the counter or
      a load helped by writing [zero|help]. *)
-  if Atomic.compare_and_set t 0 zero_flag then true
+  if Atomic.compare_and_set t 0 zero_flag then begin
+    Obs.Metrics.incr stick_c ~pid:(self_pid ());
+    true
+  end
   else begin
+    Obs.Metrics.incr cas_fail_c ~pid:(self_pid ());
     let e = Atomic.get t in
     if e land help_flag <> 0 then
       (* A load announced the death for us; exactly one decrement may
@@ -41,7 +52,11 @@ let rec load t =
   if e = 0 then
     (* Stored 0 is ambiguous: a decrement is mid-flight. Help it
        announce the death so we can return a linearizable 0. *)
-    if Atomic.compare_and_set t 0 (zero_flag lor help_flag) then 0 else load t
+    if Atomic.compare_and_set t 0 (zero_flag lor help_flag) then begin
+      Obs.Metrics.incr help_c ~pid:(self_pid ());
+      0
+    end
+    else load t
   else if e land zero_flag <> 0 then 0
   else e
 

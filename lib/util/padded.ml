@@ -8,6 +8,7 @@ let get t i = Atomic.get t.(i * stride)
 let set t i v = Atomic.set t.(i * stride) v
 let exchange t i v = Atomic.exchange t.(i * stride) v
 let compare_and_set t i expected desired = Atomic.compare_and_set t.(i * stride) expected desired
+let add t i v = ignore (Atomic.fetch_and_add t.(i * stride) v)
 
 let fold f acc t =
   let n = length t in

@@ -32,6 +32,11 @@ val compare_and_set : 'a t -> int -> 'a -> 'a -> bool
 (** CAS on logical element [i] (physical-equality comparison, as
     {!Atomic.compare_and_set}). *)
 
+val add : int t -> int -> int -> unit
+(** Atomic fetch-and-add on logical element [i] (int arrays only):
+    lost-update-free even when several threads share a slot, which is
+    what the telemetry counter shards rely on. *)
+
 val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 (** [fold f acc t] folds over current values of all logical elements.
     Not a snapshot: concurrent updates may or may not be observed. *)

@@ -29,10 +29,24 @@ let percentile xs p =
   if n = 0 then 0.
   else begin
     let ys = sorted xs in
-    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    (* Nearest rank, with an epsilon so e.g. 99.9/100*1000 (which rounds
+       up to 999.0000000000001) stays rank 999, not 1000. *)
+    let rank = int_of_float (ceil ((p /. 100. *. float_of_int n) -. 1e-9)) in
     let idx = max 0 (min (n - 1) (rank - 1)) in
     ys.(idx)
   end
+
+(* Fixed-percentile conveniences over {!percentile}; the benchmark
+   reporters and the observability layer all quote exactly these
+   three. *)
+let p50 xs = percentile xs 50.
+let p99 xs = percentile xs 99.
+let p999 xs = percentile xs 99.9
+
+let merge_counts a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Stats.merge_counts: bucket count mismatch";
+  Array.init n (fun i -> a.(i) + b.(i))
 
 let min_max xs =
   if Array.length xs = 0 then (0., 0.)

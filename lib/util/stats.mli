@@ -12,6 +12,17 @@ val median : float array -> float
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [\[0,100\]], nearest-rank method. *)
 
+val p50 : float array -> float
+val p99 : float array -> float
+
+val p999 : float array -> float
+(** Nearest-rank 50th / 99th / 99.9th percentiles (no mutation). *)
+
+val merge_counts : int array -> int array -> int array
+(** Element-wise sum of two equal-length histogram bucket-count arrays
+    (the merge step for per-domain histogram shards); raises
+    [Invalid_argument] on a length mismatch. *)
+
 val min_max : float array -> float * float
 (** Minimum and maximum; [(0., 0.)] on an empty array. *)
 

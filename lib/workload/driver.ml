@@ -51,6 +51,9 @@ type result = {
   uaf : int; (* use-after-free events caught (unsafe schemes) *)
   worker_failures : int; (* workers killed by a non-safety exception (harness bug) *)
   snap_slow_share : float option; (* RC only: slow-path snapshot share *)
+  watchdog_verdicts : string list;
+      (* Stuck verdicts the reclamation watchdog raised during the run
+         (empty when telemetry is disabled or reclamation progressed). *)
 }
 
 let pp_result ppf r =
@@ -62,7 +65,16 @@ let pp_result ppf r =
      else "")
     (match r.snap_slow_share with
     | Some s when s > 0.0005 -> Printf.sprintf "  slow-snap=%.1f%%" (100. *. s)
-    | _ -> "")
+    | _ -> "");
+  match r.watchdog_verdicts with
+  | [] -> ()
+  | vs -> Format.fprintf ppf "  WATCHDOG=%d" (List.length vs)
+
+(* Time-series gauges published by the sampler thread; global because a
+   process runs one driver at a time. *)
+let live_gauge = Obs.Metrics.gauge "driver.live_blocks"
+let backlog_gauge = Obs.Metrics.gauge "driver.retired_backlog"
+let ops_gauge = Obs.Metrics.gauge "driver.ops_per_s"
 
 module Run (D : Ds.Set_intf.S) = struct
   let prefill d spec =
@@ -82,8 +94,12 @@ module Run (D : Ds.Set_intf.S) = struct
     in
     prefill d spec;
     D.reset_peak d;
+    ignore (Obs.Verdicts.drain ()); (* discard verdicts from earlier runs *)
     let stop = Atomic.make false in
     let ops = Array.make spec.threads 0 in
+    (* Published batch-by-batch so the sampler can compute a live
+       throughput rate without waiting for workers to finish. *)
+    let progress = Repro_util.Padded.create spec.threads 0 in
     let uafs = Atomic.make 0 in
     let failures = Atomic.make 0 in
     let worker pid () =
@@ -103,7 +119,8 @@ module Run (D : Ds.Set_intf.S) = struct
                ignore (D.range_query c key (key + spec.rq_size))
              else ignore (D.contains c key)
            done;
-           n := !n + 64
+           n := !n + 64;
+           Repro_util.Padded.set progress pid !n
          done;
          D.flush c
        with
@@ -125,10 +142,39 @@ module Run (D : Ds.Set_intf.S) = struct
        workers run. *)
     let samples = ref [] in
     let deadline = t0 +. spec.duration in
+    let last_ops = ref 0 in
+    let last_t = ref t0 in
     let rec sample () =
       let now = Unix.gettimeofday () in
       if now < deadline then begin
-        samples := float_of_int (D.live_objects d) :: !samples;
+        let live = D.live_objects d in
+        samples := float_of_int live :: !samples;
+        (* Telemetry side of the sampler: per-second throughput and
+           backlog gauges, a Sample trace event, and a watchdog poke.
+           Gated as a block so the disabled path adds nothing beyond
+           the pre-existing live_objects read. *)
+        if Obs.Metrics.enabled () then begin
+          let done_ops = Repro_util.Padded.fold ( + ) 0 progress in
+          let dt = now -. !last_t in
+          let rate =
+            if dt > 0. then int_of_float (float_of_int (done_ops - !last_ops) /. dt) else 0
+          in
+          last_ops := done_ops;
+          last_t := now;
+          let backlog = D.retired_backlog d in
+          Obs.Metrics.set_gauge live_gauge live;
+          Obs.Metrics.set_gauge backlog_gauge backlog;
+          Obs.Metrics.set_gauge ops_gauge rate;
+          Obs.Trace.emit ~pid:0
+            (Obs.Trace.Sample
+               {
+                 t_ms = int_of_float ((now -. t0) *. 1000.);
+                 ops_per_s = rate;
+                 live;
+                 backlog;
+               });
+          ignore (D.watchdog_check d)
+        end;
         Unix.sleepf (min 0.01 (deadline -. now));
         sample ()
       end
@@ -164,5 +210,6 @@ module Run (D : Ds.Set_intf.S) = struct
       uaf = uaf_ds + Atomic.get uafs;
       worker_failures = Atomic.get failures;
       snap_slow_share;
+      watchdog_verdicts = Obs.Verdicts.drain ();
     }
 end

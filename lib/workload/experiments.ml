@@ -378,7 +378,9 @@ let run_robustness ?(duration = 1.0) ?(schemes = []) ?(seed = 42) ?out () =
     | names ->
         List.filter
           (fun (module S : Smr.Smr_intf.S) ->
-            List.exists (fun n -> String.lowercase_ascii n = String.lowercase_ascii S.name) names)
+            List.exists
+              (fun n -> Instances.normalize_name n = Instances.normalize_name S.name)
+              names)
           robustness_schemes
   in
   let results = List.map (run_robustness_one ~duration ~seed) picked in
@@ -452,3 +454,194 @@ let run_ext_stack ?(threads = [ 1; 2; 4 ]) ?(duration = 0.3) () =
         Instances.stacks;
       Format.printf "@.")
     threads
+
+(* ---------------- telemetry (`stats`, `obs-overhead`) ---------------- *)
+
+let ensure_results_dir () =
+  try Unix.mkdir "results" 0o755 with Unix.Unix_error _ -> ()
+
+(* Run [f] with stdout silenced — used by [stats --json] so the
+   process's only stdout is the JSON object itself. Redirection happens
+   at the fd level because OCaml 5's [Format.std_formatter] swaps in a
+   shared buffered backend at the first [Domain.spawn], which would
+   bypass silenced formatter out-functions. *)
+let with_quiet_stdout f =
+  Format.pp_print_flush Format.std_formatter ();
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      Format.pp_print_flush Format.std_formatter ();
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f
+
+(* What a telemetry-enabled run of each experiment must have produced,
+   assuming the default (all-schemes) instance list; [stats --check]
+   asserts these are present and nonzero. *)
+type metric_requirement = Key of string | Prefix of string
+
+let stats_requirements = function
+  | "robustness" -> [ Key "fault.fired"; Prefix "smr."; Prefix "ar." ]
+  | "fig12" -> [ Prefix "smr."; Prefix "cdrc." ]
+  | _ ->
+      [ Key "smr.ebr.retire"; Key "smr.ebr.eject.ops"; Prefix "cdrc."; Prefix "ar." ]
+
+let print_reclaim_latency () =
+  let hs =
+    Obs.Histo.dump ()
+    |> List.filter (fun h ->
+           String.ends_with ~suffix:".reclaim_latency" (Obs.Histo.name h))
+    |> List.filter_map (fun h ->
+           Option.map (fun ps -> (h, ps)) (Obs.Histo.percentiles h))
+  in
+  if hs <> [] then begin
+    Format.printf
+      "@.reclamation latency per scheme (operation ticks survived; bucket upper bounds)@.";
+    List.iter
+      (fun (h, (p50, p99, p999)) ->
+        Format.printf "  %-28s n=%-9d p50=%-8d p99=%-8d p999=%d@." (Obs.Histo.name h)
+          (Obs.Histo.count h) p50 p99 p999)
+      hs
+  end
+
+(** Run one experiment with telemetry enabled, export the event trace
+    to [results/trace-<exp>.jsonl], and report the metric registry.
+    Returns a process exit code: 0 on success, 1 if [--check] failed,
+    2 for an unknown experiment id. *)
+let run_stats ?(threads = [ 2 ]) ?(duration = 0.3) ?(schemes = []) ?(scale = 1)
+    ?(json = false) ?(check = false) exp =
+  Obs.Report.reset_all ();
+  Obs.Metrics.set_enabled true;
+  Obs.Trace.set_enabled true;
+  let run () =
+    match exp with
+    | "fig12" ->
+        ignore (run_fig12 ~threads ~duration ~schemes ());
+        true
+    | "robustness" ->
+        ignore (run_robustness ~duration ~schemes ());
+        true
+    | id -> (
+        match find_set_exp id with
+        | Some e ->
+            ignore (run_set_exp ~threads ~duration ~schemes ~scale e);
+            true
+        | None ->
+            Format.eprintf
+              "stats: unknown experiment %S (expected fig11, fig13a-f, fig12 or \
+               robustness)@."
+              id;
+            false)
+  in
+  let known = if json then with_quiet_stdout run else run () in
+  Obs.Metrics.set_enabled false;
+  Obs.Trace.set_enabled false;
+  if not known then 2
+  else begin
+    ensure_results_dir ();
+    let trace_path = Filename.concat "results" ("trace-" ^ exp ^ ".jsonl") in
+    let trace_lines = Obs.Trace.export_file trace_path in
+    if json then begin
+      print_string (Obs.Report.json ());
+      print_newline ()
+    end
+    else begin
+      Format.printf "@.== telemetry: %s ==@.@." exp;
+      print_string (Obs.Report.tree ());
+      print_reclaim_latency ();
+      Format.printf "@.trace: %s (%d events)@." trace_path trace_lines
+    end;
+    if not check then 0
+    else begin
+      let failures = ref [] in
+      (match Obs.Report.validate_jsonl_file trace_path with
+      | Ok 0 -> failures := Printf.sprintf "%s: empty trace" trace_path :: !failures
+      | Ok _ -> ()
+      | Error e -> failures := Printf.sprintf "%s: %s" trace_path e :: !failures);
+      let counters, _ = Obs.Metrics.dump () in
+      let nonzero_key k = List.exists (fun (n, v) -> n = k && v > 0) counters in
+      let nonzero_prefix p =
+        List.exists (fun (n, v) -> v > 0 && String.starts_with ~prefix:p n) counters
+      in
+      List.iter
+        (fun r ->
+          let ok, what =
+            match r with
+            | Key k -> (nonzero_key k, "counter " ^ k)
+            | Prefix p -> (nonzero_prefix p, "a nonzero counter under " ^ p)
+          in
+          if not ok then failures := ("missing " ^ what) :: !failures)
+        (stats_requirements exp);
+      match List.rev !failures with
+      | [] ->
+          Format.eprintf "stats --check: OK (trace parses; required metrics present)@.";
+          0
+      | fs ->
+          List.iter (fun f -> Format.eprintf "stats --check: FAIL: %s@." f) fs;
+          1
+    end
+  end
+
+(** Overhead of the telemetry layer itself: the [run_ext_stack] Treiber
+    push/pop kernel on EBR, telemetry disabled vs enabled, alternating
+    repeats with the medians compared. The disabled path's only cost
+    over uninstrumented code is one atomic flag load per hook, so "off"
+    here stands in for the pre-telemetry baseline. *)
+let run_obs_overhead ?(threads = 2) ?(duration = 0.4) ?(repeats = 3) () =
+  let module St = Instances.St_ebr in
+  let measure () =
+    let s = St.create ~max_threads:threads () in
+    let stop = Atomic.make false in
+    let ops = Array.make threads 0 in
+    let worker pid () =
+      let c = St.ctx s pid in
+      let n = ref 0 in
+      while not (Atomic.get stop) do
+        for i = 1 to 32 do
+          St.push c i;
+          ignore (St.pop c)
+        done;
+        n := !n + 64
+      done;
+      St.flush c;
+      ops.(pid) <- !n
+    in
+    let t0 = Unix.gettimeofday () in
+    let ds = List.init threads (fun pid -> Domain.spawn (worker pid)) in
+    Unix.sleepf duration;
+    Atomic.set stop true;
+    List.iter Domain.join ds;
+    let dt = Unix.gettimeofday () -. t0 in
+    St.teardown s;
+    Repro_util.Stats.throughput_mops ~ops:(Array.fold_left ( + ) 0 ops) ~seconds:dt
+  in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  Format.printf "@.== Telemetry overhead: Treiber stack (EBR), P=%d, %d repeats per mode ==@."
+    threads repeats;
+  let off = ref [] and on = ref [] in
+  for _ = 1 to repeats do
+    Obs.Metrics.set_enabled false;
+    Obs.Trace.set_enabled false;
+    off := measure () :: !off;
+    Obs.Report.reset_all ();
+    Obs.Metrics.set_enabled true;
+    Obs.Trace.set_enabled true;
+    on := measure () :: !on;
+    Obs.Metrics.set_enabled false;
+    Obs.Trace.set_enabled false
+  done;
+  Obs.Report.reset_all ();
+  let m_off = median !off and m_on = median !on in
+  let delta = 100. *. (m_off -. m_on) /. m_off in
+  Format.printf "telemetry off: %8.3f Mops/s@." m_off;
+  Format.printf "telemetry on : %8.3f Mops/s  (%+.1f%% vs off)@.@." m_on (-.delta);
+  (m_off, m_on)

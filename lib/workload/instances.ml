@@ -189,13 +189,18 @@ let queues : (module Ds.Queue_intf.S) list =
     (module Q_locked);
   ]
 
+(* Scheme names are matched case-insensitively and ignoring '-'/'_',
+   so "rc-ebr" and "RC_EBR" both select "RCEBR". *)
+let normalize_name s =
+  String.lowercase_ascii
+    (String.concat "" (String.split_on_char '-' (String.concat "" (String.split_on_char '_' s))))
+
 let find_set structure name =
   List.find_opt
-    (fun (module D : Ds.Set_intf.S) -> String.lowercase_ascii D.name = String.lowercase_ascii name)
+    (fun (module D : Ds.Set_intf.S) -> normalize_name D.name = normalize_name name)
     (all_sets structure)
 
 let find_queue name =
   List.find_opt
-    (fun (module Q : Ds.Queue_intf.S) ->
-      String.lowercase_ascii Q.name = String.lowercase_ascii name)
+    (fun (module Q : Ds.Queue_intf.S) -> normalize_name Q.name = normalize_name name)
     queues

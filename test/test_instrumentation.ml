@@ -126,6 +126,114 @@ let test_set_intf_snapshot_stats () =
   M.teardown m;
   T.teardown t
 
+(* ---------------- telemetry counters (lib/obs) ---------------- *)
+
+(* Scripted single-domain HP sequence with exact expected counters:
+   2 slots, so the third try_acquire exhausts; one confirm against a
+   changed target retries; 5 retires all deliver on a forced eject. *)
+let test_hp_scripted_counters () =
+  Obs.Report.reset_all ();
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.Metrics.set_enabled false)
+    (fun () ->
+      let module H = Smr.Hp in
+      let t = H.create ~slots_per_thread:2 ~max_threads:1 () in
+      let pid = 0 in
+      (* The refs anchor their idents: tokens are physical identities. *)
+      let r1 = ref 1 and r2 = ref 2 and r3 = ref 3 in
+      let id1 = Smr.Ident.of_val r1
+      and id2 = Smr.Ident.of_val r2
+      and id3 = Smr.Ident.of_val r3 in
+      H.begin_critical_section t ~pid;
+      let g1 = Option.get (H.try_acquire t ~pid id1) in
+      let g2 = Option.get (H.try_acquire t ~pid id2) in
+      Alcotest.(check bool) "third acquire exhausts" true (H.try_acquire t ~pid id3 = None);
+      Alcotest.(check bool) "changed target fails confirm" false (H.confirm t ~pid g1 id3);
+      Alcotest.(check bool) "re-announced confirm settles" true (H.confirm t ~pid g1 id3);
+      H.release t ~pid g1;
+      H.release t ~pid g2;
+      H.end_critical_section t ~pid;
+      let anchors = Array.init 5 (fun i -> ref (100 + i)) in
+      let ran = ref 0 in
+      Array.iter
+        (fun r -> H.retire t ~pid (Smr.Ident.of_val r) ~birth:0 (fun _ -> incr ran))
+        anchors;
+      List.iter (fun op -> op pid) (H.eject ~force:true t ~pid);
+      let v = Obs.Metrics.value in
+      Alcotest.(check int) "acquire" 2 (v "smr.hp.acquire");
+      Alcotest.(check int) "slot_exhausted" 1 (v "smr.hp.slot_exhausted");
+      Alcotest.(check int) "confirm_retry" 1 (v "smr.hp.confirm_retry");
+      Alcotest.(check int) "retire" 5 (v "smr.hp.retire");
+      Alcotest.(check int) "eject scans" 1 (v "smr.hp.eject.scans");
+      Alcotest.(check int) "eject ops" 5 (v "smr.hp.eject.ops");
+      Alcotest.(check int) "delivered ops ran" 5 !ran;
+      Alcotest.(check int) "backlog empty" 0 (H.retired_count t ~pid))
+
+(* The PR's deterministic-accounting criterion: single domain, fixed op
+   count, for every scheme the retire counter equals delivered eject
+   ops plus the remaining backlog — checked before teardown, whose
+   [drain_all] path legitimately bypasses the eject counters. *)
+let accounting_schemes : (module Smr.Smr_intf.S) list =
+  [
+    (module Smr.Ebr);
+    (module Smr.Ibr);
+    (module Smr.Hp);
+    (module Smr.Hazard_eras);
+    (module Smr.Hyaline);
+    (module Smr.Ptb);
+    (module Smr.Leaky);
+  ]
+
+let test_accounting_identity () =
+  List.iter
+    (fun (module S : Smr.Smr_intf.S) ->
+      Obs.Report.reset_all ();
+      Obs.Metrics.set_enabled true;
+      Fun.protect
+        ~finally:(fun () -> Obs.Metrics.set_enabled false)
+        (fun () ->
+          let module St = Ds.Treiber_stack_manual.Make (S) in
+          let s = St.create ~max_threads:1 () in
+          let c = St.ctx s 0 in
+          for i = 1 to 300 do
+            St.push c i;
+            ignore (St.pop c)
+          done;
+          St.flush c;
+          let lower = String.lowercase_ascii S.name in
+          let retire = Obs.Metrics.value ("smr." ^ lower ^ ".retire") in
+          let delivered = Obs.Metrics.value ("smr." ^ lower ^ ".eject.ops") in
+          let backlog = St.Ar.total_pending s.St.ar in
+          Alcotest.(check int) (S.name ^ ": one retire per pop") 300 retire;
+          Alcotest.(check int)
+            (S.name ^ ": retire = delivered + backlog")
+            retire (delivered + backlog);
+          St.teardown s))
+    accounting_schemes
+
+(* 4 domains, distinct pids, one shared counter: the merged total must
+   be the exact sum of per-domain increments (the single-writer-per-
+   shard contract of [Obs.Metrics]). *)
+let counter_merge_prop =
+  QCheck.Test.make ~name:"merged counter total = sum of per-domain increments" ~count:25
+    QCheck.(quad small_nat small_nat small_nat small_nat)
+    (fun (a, b, c, d) ->
+      Obs.Report.reset_all ();
+      Obs.Metrics.set_enabled true;
+      let ctr = Obs.Metrics.counter "test.merge.total" in
+      let ns = [| a; b; c; d |] in
+      let ds =
+        List.init 4 (fun i ->
+            Domain.spawn (fun () ->
+                for _ = 1 to ns.(i) do
+                  Obs.Metrics.incr ctr ~pid:i
+                done))
+      in
+      List.iter Domain.join ds;
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.total ctr = a + b + c + d)
+
 let () =
   Alcotest.run "instrumentation"
     [
@@ -142,5 +250,12 @@ let () =
           Alcotest.test_case "weak fallback on exhaustion" `Quick
             test_weak_snapshot_fallback_on_exhaustion;
           Alcotest.test_case "Set_intf stats" `Quick test_set_intf_snapshot_stats;
+        ] );
+      ( "telemetry counters",
+        [
+          Alcotest.test_case "scripted HP sequence" `Quick test_hp_scripted_counters;
+          Alcotest.test_case "accounting identity, all schemes" `Quick
+            test_accounting_identity;
+          QCheck_alcotest.to_alcotest counter_merge_prop;
         ] );
     ]

@@ -164,6 +164,49 @@ let test_stats_min_max_throughput () =
   feq "max" 3. hi;
   feq "mops" 2. (Stats.throughput_mops ~ops:1_000_000 ~seconds:0.5)
 
+let test_stats_fixed_percentiles () =
+  (* Nearest-rank on 1..1000: rank ceil(p/100 * 1000), 1-indexed. *)
+  let xs = Array.init 1000 (fun i -> float_of_int (i + 1)) in
+  feq "p50" 500. (Stats.p50 xs);
+  feq "p99" 990. (Stats.p99 xs);
+  feq "p999" 999. (Stats.p999 xs);
+  feq "p50 singleton" 7. (Stats.p50 [| 7. |]);
+  feq "p999 singleton" 7. (Stats.p999 [| 7. |])
+
+let test_stats_merge_counts () =
+  Alcotest.(check (array int)) "pointwise sum" [| 3; 5; 0 |]
+    (Stats.merge_counts [| 1; 2; 0 |] [| 2; 3; 0 |]);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Stats.merge_counts: bucket count mismatch") (fun () ->
+      ignore (Stats.merge_counts [| 1 |] [| 1; 2 |]))
+
+(* Property: [percentile] never mutates its input, always returns an
+   element of the input, agrees with a sorted-copy nearest-rank oracle,
+   and pins p=0 to the minimum and p=100 to the maximum. *)
+let percentile_oracle_prop =
+  QCheck.Test.make ~name:"percentile vs sorted-copy oracle" ~count:500
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 50) (int_range (-1000) 1000))
+        (int_range 0 100))
+    (fun (l, p_int) ->
+      let xs = Array.of_list (List.map float_of_int l) in
+      let before = Array.copy xs in
+      let p = float_of_int p_int in
+      let got = Stats.percentile xs p in
+      let oracle =
+        let ys = Array.copy before in
+        Array.sort compare ys;
+        let n = Array.length ys in
+        let rank = int_of_float (ceil ((p /. 100. *. float_of_int n) -. 1e-9)) in
+        ys.(max 0 (min (n - 1) (rank - 1)))
+      in
+      xs = before
+      && got = oracle
+      && Array.exists (fun x -> x = got) before
+      && Stats.percentile xs 0. = fst (Stats.min_max xs)
+      && Stats.percentile xs 100. = snd (Stats.min_max xs))
+
 let () =
   Alcotest.run "util"
     [
@@ -196,5 +239,8 @@ let () =
           Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
           Alcotest.test_case "median/percentile" `Quick test_stats_median_percentile;
           Alcotest.test_case "min/max/throughput" `Quick test_stats_min_max_throughput;
+          Alcotest.test_case "p50/p99/p999" `Quick test_stats_fixed_percentiles;
+          Alcotest.test_case "merge_counts" `Quick test_stats_merge_counts;
+          QCheck_alcotest.to_alcotest percentile_oracle_prop;
         ] );
     ]

@@ -14,4 +14,15 @@ dune runtest
 echo "== robustness smoke (EBR, 0.2s) =="
 dune exec bin/cdrc_bench.exe -- robustness --duration 0.2 --schemes EBR --out ""
 
+echo "== telemetry smoke (fig13a, scaled down) =="
+# Short run with telemetry on; --check fails unless the exported trace
+# is valid JSONL and the experiment's required metrics are non-zero.
+dune exec bin/cdrc_bench.exe -- stats fig13a --threads 2 --duration 0.1 --scale 50 --check
+
+echo "== no committed trace files =="
+if git ls-files 'results/*.jsonl' | grep -q .; then
+  echo "error: results/*.jsonl are generated artifacts and must not be committed" >&2
+  exit 1
+fi
+
 echo "CI OK"
