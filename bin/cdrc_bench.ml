@@ -194,6 +194,102 @@ let custom_cmd =
       const run $ threads_arg $ duration_arg $ schemes_arg $ structure_arg $ update_arg
       $ rq_arg $ rq_size_arg $ size_arg $ range_arg)
 
+let explore_cmd =
+  let target_arg =
+    let doc =
+      "Scenario to explore (use --list to enumerate). Targets marked MUTANT carry an \
+       injected bug: the run succeeds when a counterexample is found."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+  in
+  let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List available targets and exit.") in
+  let mode_arg =
+    let mode_conv =
+      Arg.enum [ ("dfs", Explore.Dfs); ("pct", Explore.Pct); ("random", Explore.Random) ]
+    in
+    Arg.(
+      value & opt mode_conv Explore.Dfs
+      & info [ "mode" ] ~docv:"dfs|pct|random"
+          ~doc:
+            "Exploration strategy: bounded-exhaustive DFS, PCT-style priority \
+             randomization, or seeded random scheduling.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed (pct/random modes).")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 1_000
+      & info [ "iters" ] ~docv:"N" ~doc:"Schedules to try (pct/random modes).")
+  in
+  let preempt_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "preemptions" ] ~docv:"N"
+          ~doc:"Bound forced context switches per schedule (dfs mode; default unbounded).")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "depth" ] ~docv:"D" ~doc:"Priority-change points per schedule (pct mode).")
+  in
+  let max_steps_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Abort any single schedule after N steps.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"TRACE"
+          ~doc:
+            "Replay one schedule instead of exploring; TRACE is the printed fiber-index \
+             list, e.g. '[0;1;1;0]' or '0,1,1,0'.")
+  in
+  let run list target mode seed iters preemptions depth max_steps replay =
+    if list then begin
+      List.iter
+        (fun t ->
+          Format.printf "%-22s %s@." t.Explore.t_name t.Explore.t_doc)
+        Explore.targets;
+      exit 0
+    end;
+    match target with
+    | None ->
+        Format.eprintf "explore: a TARGET is required (try --list)@.";
+        exit 2
+    | Some name -> (
+        match Explore.find name with
+        | None ->
+            Format.eprintf "explore: unknown target %S (try --list)@." name;
+            exit 2
+        | Some t ->
+            let replay =
+              match replay with
+              | None -> None
+              | Some s -> (
+                  try Some (Sched.trace_of_string s)
+                  with _ ->
+                    Format.eprintf "explore: cannot parse trace %S@." s;
+                    exit 2)
+            in
+            let r =
+              Explore.run_target t ~mode ~seed ~iters ~max_preemptions:preemptions
+                ~max_steps ~depth ~replay
+            in
+            exit (Explore.report Format.std_formatter t r))
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Deterministic schedule exploration of the lock-free cores (sticky counter, \
+          acquire-retire slots, CDRC weak upgrade); failures print a replayable schedule")
+    Term.(
+      const run $ list_arg $ target_arg $ mode_arg $ seed_arg $ iters_arg $ preempt_arg
+      $ depth_arg $ max_steps_arg $ replay_arg)
+
 let () =
   let info =
     Cmd.info "cdrc-bench" ~version:"1.0.0"
@@ -205,7 +301,7 @@ let () =
     List.map run_set_exp_cmd Workload.Experiments.set_experiments
     @ [
         fig12_cmd; abl_sticky_cmd; abl_epochfreq_cmd; abl_hpslots_cmd; ext_stack_cmd;
-        robustness_cmd; stats_cmd; obs_overhead_cmd; custom_cmd;
+        robustness_cmd; stats_cmd; obs_overhead_cmd; custom_cmd; explore_cmd;
       ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

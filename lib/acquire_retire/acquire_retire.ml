@@ -15,6 +15,11 @@
     typed read of the shared location is supplied by the caller as a
     [read] function. *)
 
+(** The announcement-slot kernel of the Fig 2 protocol, functorized
+    over the atomic shim for deterministic schedule exploration
+    (DESIGN.md §8). *)
+module Slot_protocol = Slot_protocol
+
 module Make (S : Smr.Smr_intf.S) = struct
   module Smr_impl = S
 

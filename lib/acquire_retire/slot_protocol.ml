@@ -1,0 +1,117 @@
+(** The acquire–retire announcement-slot protocol (paper §3.1, Fig 2)
+    as a self-contained core, functorized over the atomic shim for
+    deterministic schedule exploration.
+
+    This is the protocol kernel the hazard-pointer-family schemes (HP,
+    HE, IBR's validation step) all embody: a reader {e announces} the
+    identity it is about to dereference in a single-writer slot, then
+    {e confirms} the shared location still holds that identity before
+    trusting the announcement; a reclaimer moves retired identities to
+    a limbo list and {e ejects} — frees — exactly those not announced
+    by any slot at scan time. Safety hangs on the announce→re-validate
+    order: the full scheme implementations in [Smr] carry epochs,
+    batches and telemetry on top, which is noise at schedule
+    granularity, so the explorer drives this kernel instead — the same
+    moves, one atomic step each.
+
+    Identities are plain non-zero ints (0 marks an empty slot),
+    mirroring [Smr.Ident]. Deferred reclamation is a closure, as in
+    the Fig 2 interface. *)
+
+module Make (A : Sched.ATOMIC) = struct
+  type guard = { g_pid : int; g_slot : int }
+
+  type t = {
+    slots : int A.t array array;  (* per-pid announcement slots; 0 = empty *)
+    in_use : bool array array;  (* owner-local slot bookkeeping *)
+    retired : (int * (unit -> unit)) list ref array;  (* per-pid limbo *)
+    nthreads : int;
+    slots_per_thread : int;
+    (* Mutation for harness validation (ISSUE 3): skip the confirm
+       re-read after announcing, i.e. trust the pre-announcement read.
+       This is the classic hazard-pointer validation-elision bug; the
+       explorer must find the use-after-free it opens. *)
+    mutation_skip_validate : bool ref;
+  }
+
+  let create ?(slots_per_thread = 2) ~max_threads () =
+    {
+      slots =
+        Array.init max_threads (fun _ ->
+            Array.init slots_per_thread (fun _ -> A.make 0));
+      in_use = Array.init max_threads (fun _ -> Array.make slots_per_thread false);
+      retired = Array.init max_threads (fun _ -> ref []);
+      nthreads = max_threads;
+      slots_per_thread;
+      mutation_skip_validate = ref false;
+    }
+
+  let free_slot t ~pid =
+    let row = t.in_use.(pid) in
+    let rec go i =
+      if i >= t.slots_per_thread then None else if row.(i) then go (i + 1) else Some i
+    in
+    go 0
+
+  (** Announce [ident] in one of [pid]'s slots. The announcement is not
+      yet trustworthy — the caller must {!confirm} it against a re-read
+      of the shared location. *)
+  let acquire t ~pid ident =
+    match free_slot t ~pid with
+    | None -> invalid_arg "Slot_protocol.acquire: out of announcement slots"
+    | Some i ->
+        t.in_use.(pid).(i) <- true;
+        A.set t.slots.(pid).(i) ident;
+        { g_pid = pid; g_slot = i }
+
+  (** [confirm t ~pid g ident] where [ident] is a {e re-read} of the
+      shared location: true iff the announcement covers it. On mismatch
+      the announcement is moved to [ident] so the caller can retry. *)
+  let confirm t ~pid:_ g ident =
+    let slot = t.slots.(g.g_pid).(g.g_slot) in
+    if A.get slot = ident then true
+    else begin
+      A.set slot ident;
+      false
+    end
+
+  let release t ~pid:_ g =
+    A.set t.slots.(g.g_pid).(g.g_slot) 0;
+    t.in_use.(g.g_pid).(g.g_slot) <- false
+
+  (** The read side of Fig 2: read the location, announce, re-read and
+      settle until the announcement is confirmed. Returns the protected
+      identity and its guard. *)
+  let protect_read t ~pid ~(read : unit -> int) =
+    let v0 = read () in
+    let g = acquire t ~pid v0 in
+    if !(t.mutation_skip_validate) then (v0, g)
+    else begin
+      let rec settle () =
+        let v = read () in
+        if confirm t ~pid g v then (v, g) else settle ()
+      in
+      settle ()
+    end
+
+  let retire t ~pid ident free = t.retired.(pid) := (ident, free) :: !(t.retired.(pid))
+
+  let retired_count t ~pid = List.length !(t.retired.(pid))
+
+  (** Scan every announcement slot (one atomic read each — each read is
+      a scheduling point under exploration, so the explorer exercises
+      mid-scan races) and free every retired identity not announced.
+      Returns the number of entries freed. *)
+  let eject t ~pid =
+    let announced = ref [] in
+    for p = 0 to t.nthreads - 1 do
+      for i = 0 to t.slots_per_thread - 1 do
+        let v = A.get t.slots.(p).(i) in
+        if v <> 0 then announced := v :: !announced
+      done
+    done;
+    let keep, free = List.partition (fun (id, _) -> List.mem id !announced) !(t.retired.(pid)) in
+    t.retired.(pid) := keep;
+    List.iter (fun (_, f) -> f ()) free;
+    List.length free
+end

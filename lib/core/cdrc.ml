@@ -23,7 +23,12 @@
 
 module Make (S : Smr.Smr_intf.S) = struct
   module Smr_impl = S
-  module Counter = Sticky.Sticky_counter
+
+  (* The control-block lifecycle core (counters + value cell) comes
+     from the schedule-explorable functor, instantiated on the
+     zero-cost passthrough shim; test/test_sched.ml drives the same
+     functor over [Sched.Traced]. *)
+  module Cell = Rc_cell.Make (Sched.Passthrough)
   module Ident = Smr.Ident
 
   let scheme_name = "RC" ^ S.name
@@ -48,9 +53,7 @@ module Make (S : Smr.Smr_intf.S) = struct
   (* Control blocks and the runtime *)
 
   type 'a control_block = {
-    value : 'a option Atomic.t; (* None once disposed *)
-    strong : Counter.t;
-    weak : Counter.t; (* #weak refs + (1 if strong > 0) *)
+    cell : 'a Cell.t; (* value (None once disposed) + strong/weak counters *)
     birth_strong : int;
     birth_weak : int;
     birth_dispose : int;
@@ -128,23 +131,23 @@ module Make (S : Smr.Smr_intf.S) = struct
   (* ------------------------------------------------------------------ *)
   (* Reference-count primitives (Fig 8) *)
 
-  let expired cb = Counter.is_zero cb.strong
+  let expired cb = Cell.expired cb.cell
 
   let must_increment cb =
-    if not (Counter.increment_if_not_zero cb.strong) then
+    if not (Cell.try_upgrade cb.cell) then
       failwith "Cdrc: invariant violated: increment of a dead strong count"
 
   let weak_increment cb =
-    if not (Counter.increment_if_not_zero cb.weak) then
+    if not (Cell.weak_increment_if_not_zero cb.cell) then
       failwith "Cdrc: invariant violated: increment of a dead weak count"
 
   let free_cb rt cb =
     ignore rt;
-    Atomic.set cb.value None;
+    Cell.clear cb.cell;
     Simheap.free cb.block
 
   let rec decrement rt ~pid cb =
-    if Counter.decrement cb.strong then
+    if Cell.strong_decrement cb.cell then
       if rt.support_weak then delayed_dispose rt ~pid cb
       else
         (* Strong-only mode: no weak snapshot can observe the object, so
@@ -153,12 +156,12 @@ module Make (S : Smr.Smr_intf.S) = struct
         enqueue rt ~pid (fun epid -> dispose rt ~pid:epid cb)
 
   and dispose rt ~pid cb =
-    (match Atomic.exchange cb.value None with
+    (match Cell.take cb.cell with
     | Some v -> cb.destroy pid v
     | None -> failwith "Cdrc: invariant violated: double dispose");
     weak_decrement rt ~pid cb
 
-  and weak_decrement rt ~pid:_ cb = if Counter.decrement cb.weak then free_cb rt cb
+  and weak_decrement rt ~pid:_ cb = if Cell.weak_decrement cb.cell then free_cb rt cb
 
   and delayed_decrement rt ~pid cb =
     Obs.Metrics.incr dec_deferred_c ~pid;
@@ -246,7 +249,7 @@ module Make (S : Smr.Smr_intf.S) = struct
 
     (** Logical value read (unprotected!): only for diagnostics,
         quiescent inspection, and values the caller knows are pinned. *)
-    let strong_count p = match cb_of p with None -> 0 | Some cb -> Counter.load cb.strong
+    let strong_count p = match cb_of p with None -> 0 | Some cb -> Cell.strong_count cb.cell
   end
 
   (* ------------------------------------------------------------------ *)
@@ -361,9 +364,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       in
       let cb =
         {
-          value = Atomic.make (Some v);
-          strong = Counter.create 1;
-          weak = Counter.create 1;
+          cell = Cell.make v;
           birth_strong = S.alloc_hook rt.strong_ar ~pid:t.pid;
           birth_weak = (if rt.support_weak then S.alloc_hook rt.weak_ar ~pid:t.pid else 0);
           birth_dispose =
@@ -384,7 +385,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       | None -> invalid_arg "Shared.get: null pointer"
       | Some cb -> (
           Simheap.check_live cb.block;
-          match Atomic.get cb.value with
+          match Cell.read cb.cell with
           | Some v -> v
           | None -> failwith "Cdrc: invariant violated: strong deref of disposed object")
 
@@ -413,11 +414,11 @@ module Make (S : Smr.Smr_intf.S) = struct
 
     let use_count (p : 'a t) =
       check_owner p.s_live "shared";
-      match p.s_cb with None -> 0 | Some cb -> Counter.load cb.strong
+      match p.s_cb with None -> 0 | Some cb -> Cell.strong_count cb.cell
 
     let weak_count (p : 'a t) =
       check_owner p.s_live "shared";
-      match p.s_cb with None -> 0 | Some cb -> Counter.load cb.weak
+      match p.s_cb with None -> 0 | Some cb -> Cell.weak_count cb.cell
 
     let equal (a : 'a t) (b : 'a t) =
       check_owner a.s_live "shared";
@@ -458,7 +459,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       | None -> invalid_arg "Snapshot.get: null snapshot"
       | Some cb -> (
           Simheap.check_live cb.block;
-          match Atomic.get cb.value with
+          match Cell.read cb.cell with
           | Some v -> v
           | None -> failwith "Cdrc: invariant violated: snapshot deref of disposed object")
 
@@ -490,7 +491,7 @@ module Make (S : Smr.Smr_intf.S) = struct
 
     let use_count (p : 'a t) =
       check_owner p.n_live "snapshot";
-      match p.n_cb with None -> 0 | Some cb -> Counter.load cb.strong
+      match p.n_cb with None -> 0 | Some cb -> Cell.strong_count cb.cell
 
     let is_protected (p : 'a t) = p.n_guard <> None
   end
@@ -653,7 +654,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       match p.w_cb with
       | None -> Shared.null ()
       | Some cb ->
-          if Counter.increment_if_not_zero cb.strong then { s_cb = Some cb; s_live = true }
+          if Cell.try_upgrade cb.cell then { s_cb = Some cb; s_live = true }
           else Shared.null ()
 
     let copy (t : thr) (p : 'a t) : 'a t =
@@ -677,7 +678,7 @@ module Make (S : Smr.Smr_intf.S) = struct
 
     let weak_count (p : 'a t) =
       check_owner p.w_live "weak";
-      match p.w_cb with None -> 0 | Some cb -> Counter.load cb.weak
+      match p.w_cb with None -> 0 | Some cb -> Cell.weak_count cb.cell
   end
 
   module Weak_snapshot = struct
@@ -704,7 +705,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       | None -> invalid_arg "Weak_snapshot.get: null snapshot"
       | Some cb -> (
           Simheap.check_live cb.block;
-          match Atomic.get cb.value with
+          match Cell.read cb.cell with
           | Some v -> v
           | None ->
               failwith "Cdrc: invariant violated: weak snapshot deref of disposed object")
@@ -722,7 +723,7 @@ module Make (S : Smr.Smr_intf.S) = struct
       match p.ws_cb with
       | None -> Shared.null ()
       | Some cb ->
-          if Counter.increment_if_not_zero cb.strong then { s_cb = Some cb; s_live = true }
+          if Cell.try_upgrade cb.cell then { s_cb = Some cb; s_live = true }
           else Shared.null ()
 
     (* Fig 9, weak_snapshot_ptr::release *)
@@ -823,7 +824,7 @@ module Make (S : Smr.Smr_intf.S) = struct
               | None ->
                   (* Fig 9 line 26: out of dispose guards — fall back to
                      a real strong increment if the object is alive. *)
-                  Counter.increment_if_not_zero cb.strong
+                  Cell.try_upgrade cb.cell
             in
             if alive then begin
               S.release rt.weak_ar ~pid wg;
@@ -940,6 +941,10 @@ end
 (** Re-export of the scheme-agnostic public signature (the [cdrc]
     library's entry module hides sibling modules, so expose it here). *)
 module Intf = Cdrc_intf
+
+(** Re-export of the control-block lifecycle functor so the schedule
+    explorer (and its CLI) can instantiate it over [Sched.Traced]. *)
+module Rc_cell = Rc_cell
 
 (* Compile-time check that Make's output satisfies the scheme-agnostic
    public signature consumed by data structures and benchmarks. *)

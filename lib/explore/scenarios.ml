@@ -1,0 +1,265 @@
+(* Schedule-exploration scenarios for the lock-free cores: each
+   builder returns a fresh [Sched.scenario] — simulated domains as
+   cooperative fibers plus a final-state oracle — over the traced
+   instantiations of the functorized cores. Verdicts come from three
+   oracle families: protocol invariants (death credits, dispose-once),
+   [Simheap] (use-after-free / double-free / leak), and [Lincheck]
+   (history linearizability against the sequential model). *)
+
+module Sticky_t = Sticky.Sticky_counter_f.Make (Sched.Traced)
+module Slots_t = Acquire_retire.Slot_protocol.Make (Sched.Traced)
+module Cell_t = Cdrc.Rc_cell.Make (Sched.Traced)
+module T = Sched.Traced
+
+(* ------------------------------------------------------------------ *)
+(* Sticky counter (Fig 7) *)
+
+(** [domains] fibers each own one unit of the count and run [ops]
+    increment/decrement bursts before dropping their unit. Oracle:
+    exactly one decrement overall takes the death credit, the counter
+    reads 0 afterwards, and stays stuck. The traced twin of
+    test_sticky's parallel stress. *)
+let sticky_one_death ?(mutate = false) ~domains ~ops () : Sched.scenario =
+  Sticky_t.mutation_drop_help_publish := mutate;
+  let c = Sticky_t.create domains in
+  let deaths = ref 0 in
+  let fiber _i () =
+    for _ = 1 to ops do
+      if Sticky_t.increment_if_not_zero c then
+        if Sticky_t.decrement c then incr deaths
+    done;
+    (* drop our owned unit *)
+    if Sticky_t.decrement c then incr deaths
+  in
+  {
+    Sched.fibers = Array.init domains (fun i -> fiber i);
+    check =
+      (fun () ->
+        if !deaths <> 1 then
+          failwith (Printf.sprintf "death credits: expected 1, got %d" !deaths);
+        let v = Sticky_t.load c in
+        if v <> 0 then failwith (Printf.sprintf "post-death load: expected 0, got %d" v);
+        if Sticky_t.increment_if_not_zero c then
+          failwith "increment revived a dead counter");
+  }
+
+(** One fiber loads [loads] times while another drops the only unit:
+    the load either sees the old value or helps announce the death
+    (the zero-flag/help-flag dance). Oracles: exactly one death
+    credit, and the observed loads are monotone non-increasing in
+    {0, 1}. With [mutate] the load "forgets" to publish the help flag
+    — the decrement then loses its credit, which the explorer must
+    detect. *)
+let sticky_load_vs_decrement ?(mutate = false) ?(loads = 2) () : Sched.scenario =
+  Sticky_t.mutation_drop_help_publish := mutate;
+  let c = Sticky_t.create 1 in
+  let deaths = ref 0 in
+  let seen = ref [] in
+  {
+    Sched.fibers =
+      [|
+        (fun () ->
+          for _ = 1 to loads do
+            seen := Sticky_t.load c :: !seen
+          done);
+        (fun () -> if Sticky_t.decrement c then incr deaths);
+      |];
+    check =
+      (fun () ->
+        if !deaths <> 1 then
+          failwith (Printf.sprintf "death credits: expected 1, got %d" !deaths);
+        let rec monotone prev = function
+          | [] -> true
+          | v :: rest -> v >= 0 && v <= 1 && v <= prev && monotone v rest
+        in
+        if not (monotone max_int (List.rev !seen)) then
+          failwith
+            ("loads not monotone non-increasing in {0,1}: "
+            ^ String.concat "," (List.map string_of_int (List.rev !seen))));
+  }
+
+(* ---- sticky counter vs. its sequential model, via Lincheck ---- *)
+
+type sticky_op = Inc | Dec | Load
+
+let pp_sticky_op ppf = function
+  | Inc -> Format.fprintf ppf "inc"
+  | Dec -> Format.fprintf ppf "dec"
+  | Load -> Format.fprintf ppf "load"
+
+(* Sequential specification: a non-negative count, stuck at zero.
+   Results are encoded as ints: Inc -> 0/1 (failed/succeeded),
+   Dec -> 0/1 (survived/took the death credit), Load -> the value. *)
+let sticky_model count op =
+  match op with
+  | Inc -> if count > 0 then (count + 1, 1) else (count, 0)
+  | Dec -> if count >= 1 then (count - 1, if count = 1 then 1 else 0) else (count, -1)
+  | Load -> (count, count)
+
+(** Run one scripted op sequence per fiber against a shared counter
+    (each fiber starts owning one unit; a [Dec] is skipped unless the
+    fiber owns a unit, honoring the API precondition; leftover units
+    are dropped at the end), recording every operation with logical
+    invocation/response stamps. Oracle: the recorded history is
+    linearizable against the sequential model — the schedule-exploration
+    port of test_sticky's qcheck property. *)
+let sticky_lincheck ?(mutate = false) ~(seqs : sticky_op list array) () : Sched.scenario =
+  Sticky_t.mutation_drop_help_publish := mutate;
+  let nfibers = Array.length seqs in
+  let c = Sticky_t.create nfibers in
+  let rec_ : (sticky_op, int) Lincheck.Recorder.t = Lincheck.Recorder.create () in
+  (* Yield inside the recorded window so other fibers' steps land
+     between a recorded op's invocation and response stamps — otherwise
+     histories could never overlap. *)
+  let recorded thread op f =
+    Lincheck.Recorder.run rec_ ~thread op (fun () ->
+        Sched.yield ();
+        f ())
+  in
+  let fiber i () =
+    let units = ref 1 in
+    List.iter
+      (fun op ->
+        match op with
+        | Inc ->
+            if recorded i Inc (fun () -> if Sticky_t.increment_if_not_zero c then 1 else 0)
+               = 1
+            then incr units
+        | Dec ->
+            if !units > 0 then begin
+              decr units;
+              ignore (recorded i Dec (fun () -> if Sticky_t.decrement c then 1 else 0))
+            end
+        | Load -> ignore (recorded i Load (fun () -> Sticky_t.load c)))
+      seqs.(i);
+    while !units > 0 do
+      decr units;
+      ignore (recorded i Dec (fun () -> if Sticky_t.decrement c then 1 else 0))
+    done
+  in
+  {
+    Sched.fibers = Array.init nfibers fiber;
+    check =
+      (fun () ->
+        match
+          Lincheck.check_or_explain ~model:sticky_model ~equal_res:( = )
+            ~pp_op:pp_sticky_op
+            ~pp_res:(fun ppf r -> Format.fprintf ppf "%d" r)
+            ~init:nfibers (Lincheck.Recorder.history rec_)
+        with
+        | Ok () -> ()
+        | Error msg -> failwith msg);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Acquire–retire announcement slots (Fig 2) *)
+
+(** A reader protects and dereferences whatever a shared location
+    holds while a reclaimer swings the location from node 1 to node 2,
+    retires node 1 and ejects. Oracles: [Simheap] (the deref must
+    never hit a freed block, freeing must happen exactly once) and no
+    leak once the reader has released. With [mutate] the reader skips
+    the confirm re-read after announcing — the classic validation
+    elision, which opens a use-after-free window the explorer must
+    find. *)
+let slots_reclaim ?(mutate = false) () : Sched.scenario =
+  let heap = Simheap.create ~name:"sched-slots" () in
+  let b1 = Simheap.alloc heap and b2 = Simheap.alloc heap in
+  let block_of = function
+    | 1 -> b1
+    | 2 -> b2
+    | id -> failwith (Printf.sprintf "unknown ident %d" id)
+  in
+  let proto = Slots_t.create ~max_threads:2 () in
+  proto.Slots_t.mutation_skip_validate := mutate;
+  let loc = T.make 1 in
+  {
+    Sched.fibers =
+      [|
+        (fun () ->
+          let v, g = Slots_t.protect_read proto ~pid:0 ~read:(fun () -> T.get loc) in
+          Simheap.check_live (block_of v);
+          Slots_t.release proto ~pid:0 g);
+        (fun () ->
+          T.set loc 2;
+          Slots_t.retire proto ~pid:1 1 (fun () -> Simheap.free b1);
+          ignore (Slots_t.eject proto ~pid:1));
+      |];
+    check =
+      (fun () ->
+        (* The reader has released: a final eject must reclaim node 1. *)
+        ignore (Slots_t.eject proto ~pid:1);
+        let live = Simheap.live heap in
+        if live <> 1 then
+          failwith (Printf.sprintf "post-run live blocks: expected 1 (node 2), got %d" live));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* CDRC weak-pointer upgrade (Figs 8–9) *)
+
+(** The owner of the last strong reference races a weak-pointer
+    upgrade: drop-strong → dispose → weak-decrement → free on one
+    side, increment-if-not-zero → deref on the other. Oracles: a
+    successful upgrade must observe the value (never the disposed
+    [None]) and a live block; disposal happens exactly once; the block
+    is freed exactly once and nothing leaks ([Simheap]); both counters
+    end at zero. *)
+let weak_upgrade () : Sched.scenario =
+  let heap = Simheap.create ~name:"sched-weak" () in
+  let block = Simheap.alloc heap in
+  let cell = Cell_t.make 42 in
+  (* the weak-holder fiber's own weak unit, on top of the strong
+     side's implicit one (Fig 8: weak = #weak + (1 if strong > 0)) *)
+  if not (Cell_t.weak_increment_if_not_zero cell) then failwith "setup weak_increment";
+  let drop_strong () =
+    if Cell_t.strong_decrement cell then begin
+      (match Cell_t.take cell with
+      | Some _ -> ()
+      | None -> failwith "double dispose");
+      if Cell_t.weak_decrement cell then Simheap.free block
+    end
+  in
+  let drop_weak () = if Cell_t.weak_decrement cell then Simheap.free block in
+  {
+    Sched.fibers =
+      [|
+        (fun () -> drop_strong ());
+        (fun () ->
+          if Cell_t.try_upgrade cell then begin
+            (match Cell_t.read cell with
+            | Some _ -> ()
+            | None -> failwith "successful upgrade observed a disposed value");
+            Simheap.check_live block;
+            drop_strong ()
+          end;
+          drop_weak ());
+      |];
+    check =
+      (fun () ->
+        if Simheap.live heap <> 0 then
+          failwith (Printf.sprintf "leak: %d control block(s) never freed" (Simheap.live heap));
+        let s = Cell_t.strong_count cell and w = Cell_t.weak_count cell in
+        if s <> 0 || w <> 0 then
+          failwith (Printf.sprintf "final counts: strong=%d weak=%d (expected 0/0)" s w));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Harness self-check *)
+
+(** A deliberately racy read-modify-write counter: two fibers each do
+    [get; set (v+1)]. The lost-update schedule exists, so the explorer
+    MUST find it — if this scenario ever passes exhaustive
+    exploration, the harness itself is broken. *)
+let racy_counter () : Sched.scenario =
+  let c = T.make 0 in
+  let bump () =
+    let v = T.get c in
+    T.set c (v + 1)
+  in
+  {
+    Sched.fibers = [| bump; bump |];
+    check =
+      (fun () ->
+        let v = T.get c in
+        if v <> 2 then failwith (Printf.sprintf "lost update: counter = %d, expected 2" v));
+  }

@@ -9,10 +9,14 @@
     responded before another was invoked must linearize first — and
     (b) replays correctly against a sequential [model].
 
-    The search is exponential in the worst case; keep recorded
-    histories small (a few threads × a few operations), which is ample
-    to catch ordering bugs: a non-linearizable implementation fails
-    quickly on short histories. *)
+    {!check} memoizes visited (linearized-set, model-state)
+    configurations (Wing–Gong pruning), so heavily-overlapping
+    histories of a dozen events check in milliseconds instead of
+    exploring every permutation; it is still exponential in the worst
+    case, so keep recorded histories small (a few threads × a few
+    operations), which is ample to catch ordering bugs: a
+    non-linearizable implementation fails quickly on short
+    histories. *)
 
 type ('op, 'res) event = {
   thread : int;
@@ -43,7 +47,19 @@ val check :
   bool
 (** [check ~model ~equal_res ~init history]: is there a linearization
     of [history] that replays on [model] from [init] with every
-    operation producing its recorded result? *)
+    operation producing its recorded result? Model states must compare
+    meaningfully under structural equality for the pruning to bite
+    (lists, tuples, ints do; functional sets merely prune less). *)
+
+val check_naive :
+  model:('state -> 'op -> 'state * 'res) ->
+  equal_res:('res -> 'res -> bool) ->
+  init:'state ->
+  ('op, 'res) event list ->
+  bool
+(** The unpruned reference search — exactly {!check} without
+    memoization. Exposed so the test suite can assert the pruned
+    checker agrees with it on random histories; use {!check}. *)
 
 val check_or_explain :
   model:('state -> 'op -> 'state * 'res) ->

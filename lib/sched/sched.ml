@@ -1,0 +1,464 @@
+(** Deterministic schedule exploration for the lock-free cores
+    (dscheck-style; see DESIGN.md §8).
+
+    The schedule-sensitive algorithms — the sticky counter (Fig 7), the
+    acquire–retire announcement protocol (Fig 2) and the CDRC
+    weak-pointer upgrade path (Figs 8–9) — are functorized over the
+    {!ATOMIC} signature. Production code instantiates them with
+    {!Passthrough} (literally [Stdlib.Atomic]: zero cost); the test
+    harness instantiates them with {!Traced}, whose every operation
+    yields to a controller via an effect. The controller runs each
+    "domain" as a cooperative fiber on a single OS thread and decides,
+    at every atomic step, which fiber runs next — so a bad interleaving
+    is a *schedule we can enumerate and replay*, not a lottery ticket.
+
+    Three explorers drive the controller:
+
+    - {!explore_dfs}: exhaustive depth-first enumeration of schedules,
+      optionally preemption-bounded (CHESS-style): a context switch
+      away from a still-runnable fiber costs one preemption, and
+      schedules over the budget are pruned. Tiny configs (2 domains ×
+      a few ops) are feasible unbounded; the preemption bound keeps
+      larger ones exhaustive-in-practice, since reclamation races need
+      only 1–3 preemptions.
+    - {!explore_pct}: PCT-style randomized priority schedules
+      (Burckhardt et al.): random fiber priorities plus [depth - 1]
+      random priority-change points per run.
+    - {!explore_random}: uniform random walk over runnable fibers.
+
+    Every failure carries the executed schedule and a replay
+    recipe; {!replay} re-runs a single schedule deterministically. *)
+
+(* ------------------------------------------------------------------ *)
+(* The atomic shim *)
+
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val exchange : 'a t -> 'a -> 'a
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val fetch_and_add : int t -> int -> int
+end
+
+(** Production path: the real thing, no indirection. *)
+module Passthrough : ATOMIC with type 'a t = 'a Atomic.t = Stdlib.Atomic
+
+type _ Effect.t += Yield : unit Effect.t
+
+(* Depth of active controllers on this domain. Exploration is strictly
+   single-domain (that is the point), so a plain ref suffices; the
+   guard makes Traced usable outside a controller (it just degrades to
+   sequential execution, which the unit tests of the functorized cores
+   rely on). *)
+let controller_depth = ref 0
+
+let yield () = if !controller_depth > 0 then Effect.perform Yield
+
+(** Traced shim: a plain mutable cell, sound because the controller
+    serializes all fibers on one thread; each operation is one
+    indivisible step *after* the scheduling point. *)
+module Traced : ATOMIC = struct
+  type 'a t = { mutable v : 'a }
+
+  let make v = { v }
+
+  let get r =
+    yield ();
+    r.v
+
+  let set r v =
+    yield ();
+    r.v <- v
+
+  let exchange r v =
+    yield ();
+    let old = r.v in
+    r.v <- v;
+    old
+
+  (* Same comparison as the hardware CAS [Stdlib.Atomic] performs:
+     physical equality (coincides with structural on the ints the
+     functorized cores store). *)
+  let compare_and_set r old nu =
+    yield ();
+    if r.v == old then begin
+      r.v <- nu;
+      true
+    end
+    else false
+
+  let fetch_and_add r n =
+    yield ();
+    let old = r.v in
+    r.v <- old + n;
+    old
+end
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios and single-schedule execution *)
+
+type scenario = {
+  fibers : (unit -> unit) array;  (** one function per simulated domain *)
+  check : unit -> unit;  (** final-state oracle; raise to report a violation *)
+}
+
+exception Step_bound_exceeded of int
+exception Abort  (** used to discontinue leftover fibers after a violation *)
+
+type fiber_state =
+  | Pending of (unit -> unit)
+  | Suspended of (unit, unit) Effect.Deep.continuation
+  | Finished
+
+(* Execute one schedule. [choose ~runnable ~last ~step] picks the next
+   fiber among [runnable] (ascending indices). Returns the executed
+   choice list and, per step, the runnable set (for DFS backtracking) —
+   or the offending exception and the choices made so far. *)
+let run_schedule ?(max_steps = 10_000) ~choose (s : scenario) :
+    (int list * int list list, exn * int list) result =
+  let n = Array.length s.fibers in
+  let state = Array.map (fun f -> Pending f) s.fibers in
+  let trace = ref [] and alts = ref [] in
+  let step = ref 0 in
+  let last = ref (-1) in
+  let runnable () =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      match state.(i) with Finished -> () | _ -> acc := i :: !acc
+    done;
+    !acc
+  in
+  let run_fiber i =
+    let effc : type a. a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
+      function
+      | Yield -> Some (fun k -> state.(i) <- Suspended k)
+      | _ -> None
+    in
+    let handler =
+      { Effect.Deep.retc = (fun () -> state.(i) <- Finished); exnc = raise; effc }
+    in
+    match state.(i) with
+    | Pending f -> Effect.Deep.match_with f () handler
+    | Suspended k -> Effect.Deep.continue k ()
+    | Finished -> invalid_arg "Sched: scheduled a finished fiber"
+  in
+  let cleanup () =
+    (* Discontinue leftover fibers so their [Fun.protect] finalizers
+       run; swallow whatever they raise on the way out. *)
+    Array.iteri
+      (fun i st ->
+        match st with
+        | Suspended k -> (
+            state.(i) <- Finished;
+            try Effect.Deep.discontinue k Abort with _ -> ())
+        | _ -> ())
+      state
+  in
+  incr controller_depth;
+  Fun.protect
+    ~finally:(fun () -> decr controller_depth)
+    (fun () ->
+      (* The oracle runs after every fiber has finished: no concurrency
+         remains, so traced operations inside it must degrade to plain
+         sequential ones rather than yield (there is no handler on this
+         stack). Masking the depth does exactly that. *)
+      let run_check () =
+        let saved = !controller_depth in
+        controller_depth := 0;
+        Fun.protect ~finally:(fun () -> controller_depth := saved) s.check
+      in
+      let rec loop () =
+        match runnable () with
+        | [] -> (
+            match run_check () with
+            | () -> Ok (List.rev !trace, List.rev !alts)
+            | exception e -> Error (e, List.rev !trace))
+        | rs -> (
+            if !step >= max_steps then begin
+              cleanup ();
+              Error (Step_bound_exceeded max_steps, List.rev !trace)
+            end
+            else begin
+              let i = choose ~runnable:rs ~last:!last ~step:!step in
+              if not (List.mem i rs) then
+                invalid_arg
+                  (Printf.sprintf "Sched: schedule chose fiber %d, not runnable at step %d"
+                     i !step);
+              trace := i :: !trace;
+              alts := rs :: !alts;
+              incr step;
+              last := i;
+              match run_fiber i with
+              | () -> loop ()
+              | exception e ->
+                  state.(i) <- Finished;
+                  cleanup ();
+                  Error (e, List.rev !trace)
+            end)
+      in
+      loop ())
+
+(* ------------------------------------------------------------------ *)
+(* Results and replay *)
+
+type failure = {
+  f_trace : int list;  (** executed schedule of the failing run *)
+  f_message : string;  (** rendering of the violation *)
+  f_replay : string;  (** how to reproduce: trace or seed recipe *)
+  f_schedules : int;  (** schedules executed before the failure *)
+}
+
+type result =
+  | Pass of { schedules : int }
+  | Fail of failure
+  | Exhausted of { schedules : int }
+      (** hit the schedule budget before completing the search *)
+
+let pp_trace ppf trace =
+  Format.fprintf ppf "[%s]" (String.concat ";" (List.map string_of_int trace))
+
+let trace_to_string trace = Format.asprintf "%a" pp_trace trace
+
+let trace_of_string s =
+  let s = String.trim s in
+  let s =
+    if String.length s >= 2 && s.[0] = '[' && s.[String.length s - 1] = ']' then
+      String.sub s 1 (String.length s - 2)
+    else s
+  in
+  if s = "" then []
+  else
+    String.split_on_char ';' s
+    |> List.concat_map (String.split_on_char ',')
+    |> List.map (fun x -> int_of_string (String.trim x))
+
+let message_of_exn e =
+  match e with
+  | Failure m -> m
+  | Invalid_argument m -> "Invalid_argument: " ^ m
+  | Step_bound_exceeded n ->
+      Printf.sprintf "step bound (%d) exceeded: possible livelock under this schedule" n
+  | e -> Printexc.to_string e
+
+(** Re-run one schedule: follow [trace]; if the program runs past the
+    end of the trace, continue with the first runnable fiber. *)
+let replay ?max_steps ~trace (mk : unit -> scenario) : result =
+  let arr = Array.of_list trace in
+  let choose ~runnable ~last:_ ~step =
+    if step < Array.length arr then arr.(step) else List.hd runnable
+  in
+  match run_schedule ?max_steps ~choose (mk ()) with
+  | Ok _ -> Pass { schedules = 1 }
+  | Error (e, t) ->
+      Fail
+        {
+          f_trace = t;
+          f_message = message_of_exn e;
+          f_replay = "replay trace " ^ trace_to_string t;
+          f_schedules = 1;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive DFS, optionally preemption-bounded *)
+
+let preemptions_of ~trace ~alts =
+  (* count context switches away from a still-runnable fiber *)
+  let rec go last n trace alts =
+    match (trace, alts) with
+    | [], _ | _, [] -> n
+    | c :: trace', rs :: alts' ->
+        let n = if last >= 0 && c <> last && List.mem last rs then n + 1 else n in
+        go c n trace' alts'
+  in
+  go (-1) 0 trace alts
+
+let explore_dfs ?max_steps ?(max_schedules = 1_000_000) ?max_preemptions
+    (mk : unit -> scenario) : result =
+  let schedules = ref 0 in
+  let budget_hit = ref false in
+  (* Run one schedule following [prefix], then defaulting to "stay on
+     the last fiber if runnable, else lowest index" — the
+     preemption-free completion, so bounding preemptions only needs to
+     look at deviations. *)
+  let run_prefix prefix =
+    incr schedules;
+    let arr = Array.of_list prefix in
+    let choose ~runnable ~last ~step =
+      if step < Array.length arr then arr.(step)
+      else if last >= 0 && List.mem last runnable then last
+      else List.hd runnable
+    in
+    run_schedule ?max_steps ~choose (mk ())
+  in
+  (* DFS over the schedule tree: each run yields the executed trace and
+     the runnable set at every step; recursing on every untried
+     alternative at every depth >= |prefix| covers the subtree. *)
+  let rec dfs prefix : result option =
+    if !schedules >= max_schedules then begin
+      budget_hit := true;
+      None
+    end
+    else
+      match run_prefix prefix with
+      | Error (e, t) ->
+          Some
+            (Fail
+               {
+                 f_trace = t;
+                 f_message = message_of_exn e;
+                 f_replay = "replay trace " ^ trace_to_string t;
+                 f_schedules = !schedules;
+               })
+      | Ok (trace, alts) ->
+          let plen = List.length prefix in
+          let trace_a = Array.of_list trace and alts_a = Array.of_list alts in
+          let nsteps = Array.length trace_a in
+          let rec deviate idx =
+            if idx >= nsteps then None
+            else begin
+              let chosen = trace_a.(idx) in
+              let head i = Array.to_list (Array.sub trace_a 0 i) in
+              let rec alts_loop = function
+                | [] -> deviate (idx + 1)
+                | a :: rest when a = chosen -> alts_loop rest
+                | a :: rest -> (
+                    let prefix' = head idx @ [ a ] in
+                    let ok_budget =
+                      match max_preemptions with
+                      | None -> true
+                      | Some b ->
+                          let alts_prefix =
+                            Array.to_list (Array.sub alts_a 0 idx) @ [ alts_a.(idx) ]
+                          in
+                          preemptions_of ~trace:prefix' ~alts:alts_prefix <= b
+                    in
+                    if not ok_budget then alts_loop rest
+                    else
+                      match dfs prefix' with
+                      | Some r -> Some r
+                      | None -> alts_loop rest)
+              in
+              (* alternatives at steps inside the given prefix were
+                 already covered by our caller *)
+              if idx < plen then deviate (idx + 1) else alts_loop alts_a.(idx)
+            end
+          in
+          deviate plen
+  in
+  match dfs [] with
+  | Some r -> r
+  | None ->
+      if !budget_hit then Exhausted { schedules = !schedules }
+      else Pass { schedules = !schedules }
+
+(* ------------------------------------------------------------------ *)
+(* Randomized explorers *)
+
+let mix_seed seed iter = (seed * 1_000_003) + iter
+
+let explore_random ?max_steps ?(iters = 1_000) ~seed (mk : unit -> scenario) : result =
+  let rec go it =
+    if it >= iters then Pass { schedules = iters }
+    else begin
+      let rng = Repro_util.Rng.create ~seed:(mix_seed seed it) in
+      let choose ~runnable ~last:_ ~step:_ =
+        List.nth runnable (Repro_util.Rng.int rng (List.length runnable))
+      in
+      match run_schedule ?max_steps ~choose (mk ()) with
+      | Ok _ -> go (it + 1)
+      | Error (e, t) ->
+          Fail
+            {
+              f_trace = t;
+              f_message = message_of_exn e;
+              f_replay =
+                Printf.sprintf "mode=random seed=%d iter=%d (trace %s)" seed it
+                  (trace_to_string t);
+              f_schedules = it + 1;
+            }
+    end
+  in
+  go 0
+
+(* PCT (probabilistic concurrency testing): assign random priorities,
+   run the highest-priority runnable fiber, and at [depth - 1] random
+   change points drop the running fiber's priority below everything
+   else. Finds any bug of depth d with probability >= 1/(n * k^(d-1))
+   per run. *)
+let explore_pct ?(max_steps = 10_000) ?(iters = 1_000) ?(depth = 3) ~seed
+    (mk : unit -> scenario) : result =
+  (* PCT draws change points from [0, k) where k estimates the run
+     length in steps — NOT from [0, max_steps): the bound is orders of
+     magnitude above real runs and change points would never land
+     inside one. Probe one schedule to estimate k. *)
+  let probe_len =
+    let choose ~runnable ~last ~step:_ =
+      if last >= 0 && List.mem last runnable then last else List.hd runnable
+    in
+    match run_schedule ~max_steps ~choose (mk ()) with
+    | Ok (trace, _) -> List.length trace
+    | Error (_, trace) -> List.length trace
+  in
+  let horizon = max 1 probe_len in
+  let rec go it =
+    if it >= iters then Pass { schedules = iters }
+    else begin
+      let rng = Repro_util.Rng.create ~seed:(mix_seed seed it) in
+      let scen = mk () in
+      let n = Array.length scen.fibers in
+      (* priorities: higher value runs first; start with a random
+         permutation of n .. 2n-1 so change points (0 .. depth-2,
+         descending) always sink below initial priorities *)
+      let prio = Array.init n (fun i -> n + i) in
+      for i = n - 1 downto 1 do
+        let j = Repro_util.Rng.int rng (i + 1) in
+        let tmp = prio.(i) in
+        prio.(i) <- prio.(j);
+        prio.(j) <- tmp
+      done;
+      let change_points =
+        Array.init (max 0 (depth - 1)) (fun _ -> Repro_util.Rng.int rng horizon)
+      in
+      let next_sink = ref (depth - 2) in
+      let choose ~runnable ~last:_ ~step =
+        let best =
+          List.fold_left
+            (fun acc i -> match acc with
+              | Some j when prio.(j) >= prio.(i) -> acc
+              | _ -> Some i)
+            None runnable
+        in
+        let i = Option.get best in
+        if Array.exists (fun cp -> cp = step) change_points then begin
+          prio.(i) <- !next_sink;
+          decr next_sink
+        end;
+        i
+      in
+      match run_schedule ~max_steps ~choose scen with
+      | Ok _ -> go (it + 1)
+      | Error (e, t) ->
+          Fail
+            {
+              f_trace = t;
+              f_message = message_of_exn e;
+              f_replay =
+                Printf.sprintf "mode=pct seed=%d iter=%d depth=%d (trace %s)" seed it
+                  depth (trace_to_string t);
+              f_schedules = it + 1;
+            }
+    end
+  in
+  go 0
+
+let pp_result ppf = function
+  | Pass { schedules } -> Format.fprintf ppf "pass (%d schedules)" schedules
+  | Exhausted { schedules } ->
+      Format.fprintf ppf "exhausted schedule budget (%d schedules) without a verdict"
+        schedules
+  | Fail f ->
+      Format.fprintf ppf "counterexample after %d schedules:@.  %s@.  schedule %a@.  replay: %s"
+        f.f_schedules f.f_message pp_trace f.f_trace f.f_replay

@@ -1,0 +1,98 @@
+(** Deterministic schedule exploration for the lock-free cores.
+
+    See DESIGN.md §8. The schedule-sensitive algorithms are functorized
+    over {!ATOMIC}; production instantiates {!Passthrough} (zero-cost,
+    literally [Stdlib.Atomic]), tests instantiate {!Traced}, which
+    yields to a cooperative controller at every atomic operation. The
+    explorers enumerate or sample schedules; every failure carries a
+    deterministic replay recipe. *)
+
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val exchange : 'a t -> 'a -> 'a
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val fetch_and_add : int t -> int -> int
+end
+
+module Passthrough : ATOMIC with type 'a t = 'a Atomic.t
+(** The production shim: [Stdlib.Atomic] itself. *)
+
+module Traced : ATOMIC
+(** The exploration shim: every operation is a scheduling point.
+    Usable only under a controller (outside one it degrades to plain
+    sequential execution). *)
+
+val yield : unit -> unit
+(** Explicit scheduling point. No-op outside a controller; under one,
+    hands control to the scheduler. Use to interleave code that does
+    not go through {!Traced} (e.g. whole data-structure operations). *)
+
+(** {1 Scenarios} *)
+
+type scenario = {
+  fibers : (unit -> unit) array;  (** one function per simulated domain *)
+  check : unit -> unit;  (** final-state oracle; raise to report a violation *)
+}
+(** A schedule-exploration subject. Builders must return a {e fresh}
+    scenario on every call (explorers re-execute from scratch for each
+    schedule), and must be deterministic apart from scheduling. *)
+
+exception Step_bound_exceeded of int
+(** Raised (as a verdict) when a single schedule exceeds its step
+    budget — livelock under that schedule, or a too-small bound. *)
+
+(** {1 Results} *)
+
+type failure = {
+  f_trace : int list;  (** executed schedule (fiber index per step) *)
+  f_message : string;  (** rendering of the violation *)
+  f_replay : string;  (** how to reproduce: trace or seed recipe *)
+  f_schedules : int;  (** schedules executed up to and including the failure *)
+}
+
+type result =
+  | Pass of { schedules : int }
+  | Fail of failure
+  | Exhausted of { schedules : int }
+      (** schedule budget hit before the search completed *)
+
+val pp_result : Format.formatter -> result -> unit
+val pp_trace : Format.formatter -> int list -> unit
+
+val trace_to_string : int list -> string
+(** Render a schedule as ["[0;1;1;0]"]. *)
+
+val trace_of_string : string -> int list
+(** Parse the {!trace_to_string} format (also accepts commas). *)
+
+(** {1 Explorers} *)
+
+val explore_dfs :
+  ?max_steps:int ->
+  ?max_schedules:int ->
+  ?max_preemptions:int ->
+  (unit -> scenario) ->
+  result
+(** Exhaustive depth-first enumeration of schedules. [max_preemptions]
+    bounds context switches away from a still-runnable fiber
+    (CHESS-style); omit it for full exhaustiveness on tiny configs.
+    [max_schedules] (default 1e6) turns a runaway search into
+    {!Exhausted} rather than a hang. *)
+
+val explore_random : ?max_steps:int -> ?iters:int -> seed:int -> (unit -> scenario) -> result
+(** [iters] independent uniformly-random walks; run [i] uses a seed
+    derived from [(seed, i)], so a failing (seed, iter) pair replays. *)
+
+val explore_pct :
+  ?max_steps:int -> ?iters:int -> ?depth:int -> seed:int -> (unit -> scenario) -> result
+(** PCT (probabilistic concurrency testing): random fiber priorities
+    plus [depth - 1] random priority-change points per run. Detects a
+    depth-[d] bug with probability ≥ 1/(n·k^(d-1)) per run. *)
+
+val replay : ?max_steps:int -> trace:int list -> (unit -> scenario) -> result
+(** Deterministically re-run one schedule (e.g. a counterexample's
+    [f_trace]); past the end of the trace, continues first-runnable. *)

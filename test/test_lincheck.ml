@@ -197,6 +197,132 @@ let test_set_histories_linearizable () =
     | Error msg -> Alcotest.failf "seed %d: %s" seed msg
   done
 
+(* ---------------- histories under the traced scheduler ------------- *)
+
+(* The parallel recordings above sample a handful of real interleavings
+   per run; here the SAME structures run as cooperative fibers under
+   the deterministic scheduler, with explicit yields inside each
+   recorded window so operations overlap, and every (bounded) schedule
+   is enumerated — each one's history checked against the model. *)
+
+let sched_queue_scenario (type q c) (module Q : Ds.Queue_intf.S with type t = q and type ctx = c)
+    () : Sched.scenario =
+  let q = Q.create ~max_threads:2 () in
+  let rec_ : (q_op, int option) Lincheck.Recorder.t = Lincheck.Recorder.create () in
+  let recorded pid op f =
+    Lincheck.Recorder.run rec_ ~thread:pid op (fun () ->
+        Sched.yield ();
+        let r = f () in
+        Sched.yield ();
+        r)
+  in
+  let fiber pid () =
+    let c = Q.ctx q pid in
+    List.iter
+      (fun i ->
+        let v = (pid * 10) + i in
+        if i mod 2 = 1 then ignore (recorded pid (Enq v) (fun () -> Q.enqueue c v; None))
+        else ignore (recorded pid Deq (fun () -> Q.dequeue c)))
+      [ 1; 2; 3 ];
+    Q.flush c
+  in
+  {
+    Sched.fibers = [| fiber 0; fiber 1 |];
+    check =
+      (fun () ->
+        let h = Lincheck.Recorder.history rec_ in
+        Q.teardown q;
+        match
+          Lincheck.check_or_explain ~model:queue_model ~equal_res:( = ) ~pp_op:pp_q_op
+            ~pp_res ~init:[] h
+        with
+        | Ok () -> ()
+        | Error msg -> failwith msg);
+  }
+
+let test_sched_histories (module Q : Ds.Queue_intf.S) () =
+  (match Sched.explore_dfs ~max_preemptions:2 (fun () -> sched_queue_scenario (module Q) ()) with
+  | Sched.Pass _ -> ()
+  | r -> Alcotest.failf "dfs: %a" Sched.pp_result r);
+  match Sched.explore_pct ~iters:200 ~depth:3 ~seed:5 (fun () -> sched_queue_scenario (module Q) ()) with
+  | Sched.Pass _ -> ()
+  | r -> Alcotest.failf "pct: %a" Sched.pp_result r
+
+let test_ms_queue_sched_histories () =
+  let module R = Cdrc.Make (Smr.Ebr) in
+  let module Q0 = Ds.Ms_queue_rc.Make (R) in
+  (* adapt: Ms_queue_rc.create takes extra optional knobs *)
+  let module Q = struct
+    include Q0
+
+    let create ~max_threads () = Q0.create ~max_threads ()
+  end in
+  test_sched_histories (module Q) ()
+
+let test_dl_queue_sched_histories () =
+  let module R = Cdrc.Make (Smr.Hp) in
+  let module Q = Ds.Dl_queue_rc.Make (R) in
+  test_sched_histories (module Q) ()
+
+(* ---------------- pruned checker agrees with the naive one --------- *)
+
+(* Random plausible histories: simulate open/close of per-thread
+   operations against a logical clock, with results that are sometimes
+   wrong — so both acceptances and rejections are exercised. The
+   memoized checker must agree with the unpruned reference exactly. *)
+let gen_history seed =
+  let rng = Repro_util.Rng.create ~seed in
+  let nthreads = 2 + Repro_util.Rng.int rng 2 in
+  let ops_per = 2 + Repro_util.Rng.int rng 2 in
+  let clock = ref 0 in
+  let remaining = Array.make nthreads ops_per in
+  let open_op : (stack_op * int) option array = Array.make nthreads None in
+  let acc = ref [] in
+  let active () =
+    let l = ref [] in
+    for t = nthreads - 1 downto 0 do
+      if remaining.(t) > 0 || open_op.(t) <> None then l := t :: !l
+    done;
+    !l
+  in
+  let rec go () =
+    match active () with
+    | [] -> List.rev !acc
+    | ts -> (
+        let t = List.nth ts (Repro_util.Rng.int rng (List.length ts)) in
+        match open_op.(t) with
+        | None ->
+            let op =
+              if Repro_util.Rng.bool rng then Push (Repro_util.Rng.int rng 3) else Pop
+            in
+            open_op.(t) <- Some (op, !clock);
+            incr clock;
+            remaining.(t) <- remaining.(t) - 1;
+            go ()
+        | Some (op, inv) ->
+            let res =
+              match op with
+              | Push _ -> None
+              | Pop ->
+                  if Repro_util.Rng.bool rng then None
+                  else Some (Repro_util.Rng.int rng 3)
+            in
+            acc := { Lincheck.thread = t; op; res; inv; ret = !clock } :: !acc;
+            incr clock;
+            open_op.(t) <- None;
+            go ())
+  in
+  go ()
+
+let qcheck_pruned_agrees_naive =
+  QCheck2.Test.make ~name:"pruned check agrees with naive" ~count:300
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let h = gen_history seed in
+      let pruned = Lincheck.check ~model:stack_model ~equal_res:( = ) ~init:[] h in
+      let naive = Lincheck.check_naive ~model:stack_model ~equal_res:( = ) ~init:[] h in
+      pruned = naive)
+
 let () =
   Alcotest.run "lincheck"
     [
@@ -215,4 +341,10 @@ let () =
           Alcotest.test_case "queue (RCHP-weak)" `Slow test_queue_histories_linearizable;
           Alcotest.test_case "set (RCIBR list)" `Slow test_set_histories_linearizable;
         ] );
+      ( "sched histories",
+        [
+          Alcotest.test_case "ms_queue (RCEBR)" `Quick test_ms_queue_sched_histories;
+          Alcotest.test_case "dl_queue (RCHP-weak)" `Quick test_dl_queue_sched_histories;
+        ] );
+      ("pruning", [ QCheck_alcotest.to_alcotest qcheck_pruned_agrees_naive ]);
     ]

@@ -1,0 +1,187 @@
+(* The deterministic schedule-exploration harness (DESIGN.md §8):
+   first the harness itself (the DFS explorer must find a known lost
+   update, replay must reproduce it), then exhaustive exploration of
+   the functorized lock-free cores — sticky counter (Fig 7),
+   acquire-retire announcement slots (Fig 2), CDRC weak upgrade
+   (Figs 8-9) — and detection of the two injected mutations. *)
+
+module S = Explore.Scenarios
+
+(* ---------------- the harness itself ---------------- *)
+
+let test_finds_lost_update () =
+  (* exhaustive, tiny: the racy counter has a lost-update schedule and
+     DFS must find it *)
+  match Sched.explore_dfs S.racy_counter with
+  | Sched.Fail f ->
+      Alcotest.(check bool)
+        "message mentions lost update" true
+        (String.length f.Sched.f_message > 0)
+  | r -> Alcotest.failf "racy counter survived exploration: %a" Sched.pp_result r
+
+let test_replay_reproduces () =
+  match Sched.explore_dfs S.racy_counter with
+  | Sched.Fail f -> (
+      match Sched.replay ~trace:f.Sched.f_trace S.racy_counter with
+      | Sched.Fail f' ->
+          Alcotest.(check (list int)) "same schedule" f.Sched.f_trace f'.Sched.f_trace
+      | r -> Alcotest.failf "replay did not reproduce: %a" Sched.pp_result r)
+  | r -> Alcotest.failf "no counterexample to replay: %a" Sched.pp_result r
+
+let test_trace_roundtrip () =
+  let t = [ 0; 1; 1; 0; 1 ] in
+  Alcotest.(check (list int))
+    "roundtrip" t
+    (Sched.trace_of_string (Sched.trace_to_string t));
+  Alcotest.(check (list int)) "commas accepted" t (Sched.trace_of_string "0,1,1,0,1");
+  Alcotest.(check (list int)) "empty" [] (Sched.trace_of_string "[]")
+
+let test_pct_and_random_find_lost_update () =
+  (match Sched.explore_random ~iters:200 ~seed:7 S.racy_counter with
+  | Sched.Fail _ -> ()
+  | r -> Alcotest.failf "random missed the lost update: %a" Sched.pp_result r);
+  match Sched.explore_pct ~iters:200 ~depth:3 ~seed:7 S.racy_counter with
+  | Sched.Fail _ -> ()
+  | r -> Alcotest.failf "pct missed the lost update: %a" Sched.pp_result r
+
+let test_preemption_bound_prunes () =
+  (* with zero preemptions allowed, only domain-ordered schedules run:
+     the lost update needs one preemption, so the search passes *)
+  match Sched.explore_dfs ~max_preemptions:0 S.racy_counter with
+  | Sched.Pass { schedules } ->
+      Alcotest.(check bool) "few schedules" true (schedules >= 1 && schedules <= 4)
+  | r -> Alcotest.failf "expected pass under 0-preemption bound: %a" Sched.pp_result r
+
+(* ---------------- sticky counter (Fig 7) ---------------- *)
+
+(* The acceptance config: 2 domains x 3 ops, exhaustive up to 2
+   preemptions per schedule (the Fig 7 races need at most 2: they are
+   one announcement interleaved into one decrement's slow path). *)
+let test_sticky_one_death_exhaustive () =
+  match
+    Sched.explore_dfs ~max_preemptions:2 (fun () -> S.sticky_one_death ~domains:2 ~ops:3 ())
+  with
+  | Sched.Pass { schedules } ->
+      Alcotest.(check bool) "explored many schedules" true (schedules > 100)
+  | r -> Alcotest.failf "sticky one-death: %a" Sched.pp_result r
+
+let test_sticky_load_vs_dec_exhaustive () =
+  (* small enough for fully unbounded exhaustive search *)
+  match Sched.explore_dfs (fun () -> S.sticky_load_vs_decrement ()) with
+  | Sched.Pass _ -> ()
+  | r -> Alcotest.failf "sticky load-vs-dec: %a" Sched.pp_result r
+
+let test_sticky_drop_help_mutation_caught () =
+  (* the injected Fig 7 bug: load announces the death without the help
+     flag, so the decrement loses its credit. The explorer must find
+     it, and the counterexample must replay. *)
+  match Sched.explore_dfs (fun () -> S.sticky_load_vs_decrement ~mutate:true ()) with
+  | Sched.Fail f -> (
+      Format.printf "drop-help mutant caught, replayable trace %a@." Sched.pp_trace
+        f.Sched.f_trace;
+      match
+        Sched.replay ~trace:f.Sched.f_trace (fun () ->
+            S.sticky_load_vs_decrement ~mutate:true ())
+      with
+      | Sched.Fail _ -> ()
+      | r -> Alcotest.failf "mutant trace did not replay: %a" Sched.pp_result r)
+  | r -> Alcotest.failf "drop-help mutant survived: %a" Sched.pp_result r
+
+let test_sticky_mutant_needs_the_bad_schedule () =
+  (* sanity: under the purely sequential (0-preemption) schedules the
+     mutant behaves correctly — the bug is schedule-dependent, which is
+     exactly why wall-clock stress cannot reliably hit it *)
+  match
+    Sched.explore_dfs ~max_preemptions:0 (fun () -> S.sticky_load_vs_decrement ~mutate:true ())
+  with
+  | Sched.Pass _ -> ()
+  | r -> Alcotest.failf "mutant should survive sequential schedules: %a" Sched.pp_result r
+
+(* ---------------- acquire-retire slots (Fig 2) ---------------- *)
+
+let test_slots_no_uaf_exhaustive () =
+  match Sched.explore_dfs (fun () -> S.slots_reclaim ()) with
+  | Sched.Pass { schedules } ->
+      Alcotest.(check bool) "explored many schedules" true (schedules > 20)
+  | r -> Alcotest.failf "slots: %a" Sched.pp_result r
+
+let test_slots_skip_validate_caught () =
+  match Sched.explore_dfs (fun () -> S.slots_reclaim ~mutate:true ()) with
+  | Sched.Fail f ->
+      Alcotest.(check bool)
+        "verdict is a use-after-free" true
+        (let m = f.Sched.f_message in
+         let has sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length m && (String.sub m i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         has "use-after-free" || has "Use_after_free")
+  | r -> Alcotest.failf "skip-validate mutant survived: %a" Sched.pp_result r
+
+(* ---------------- CDRC weak upgrade (Figs 8-9) ---------------- *)
+
+let test_weak_upgrade_exhaustive () =
+  match Sched.explore_dfs (fun () -> S.weak_upgrade ()) with
+  | Sched.Pass { schedules } ->
+      Alcotest.(check bool) "explored many schedules" true (schedules > 20)
+  | r -> Alcotest.failf "weak upgrade: %a" Sched.pp_result r
+
+let test_weak_upgrade_pct_smoke () =
+  match Sched.explore_pct ~iters:300 ~depth:3 ~seed:11 (fun () -> S.weak_upgrade ()) with
+  | Sched.Pass _ -> ()
+  | r -> Alcotest.failf "weak upgrade (pct): %a" Sched.pp_result r
+
+(* ---------------- registry ---------------- *)
+
+let test_registry_verdicts () =
+  (* every registered target produces the outcome it promises, under a
+     cheap bounded search (the CI smoke runs the full-strength ones) *)
+  List.iter
+    (fun t ->
+      let r =
+        Explore.run_target t ~mode:Explore.Dfs ~seed:1 ~iters:100 ~max_preemptions:(Some 3)
+          ~max_steps:10_000 ~depth:3 ~replay:None
+      in
+      let buf = Buffer.create 128 in
+      let code = Explore.report (Format.formatter_of_buffer buf) t r in
+      Alcotest.(check int) (t.Explore.t_name ^ " exit code") 0 code)
+    Explore.targets
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "finds lost update" `Quick test_finds_lost_update;
+          Alcotest.test_case "replay reproduces" `Quick test_replay_reproduces;
+          Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "pct+random find lost update" `Quick
+            test_pct_and_random_find_lost_update;
+          Alcotest.test_case "preemption bound prunes" `Quick test_preemption_bound_prunes;
+        ] );
+      ( "sticky",
+        [
+          Alcotest.test_case "one death, exhaustive" `Quick test_sticky_one_death_exhaustive;
+          Alcotest.test_case "load vs dec, exhaustive" `Quick
+            test_sticky_load_vs_dec_exhaustive;
+          Alcotest.test_case "drop-help mutant caught" `Quick
+            test_sticky_drop_help_mutation_caught;
+          Alcotest.test_case "mutant ok sequentially" `Quick
+            test_sticky_mutant_needs_the_bad_schedule;
+        ] );
+      ( "slots",
+        [
+          Alcotest.test_case "no UAF, exhaustive" `Quick test_slots_no_uaf_exhaustive;
+          Alcotest.test_case "skip-validate mutant caught" `Quick
+            test_slots_skip_validate_caught;
+        ] );
+      ( "weak",
+        [
+          Alcotest.test_case "upgrade race, exhaustive" `Quick test_weak_upgrade_exhaustive;
+          Alcotest.test_case "upgrade race, pct smoke" `Quick test_weak_upgrade_pct_smoke;
+        ] );
+      ("registry", [ Alcotest.test_case "verdicts" `Quick test_registry_verdicts ]);
+    ]

@@ -189,11 +189,73 @@ let parallel_load_vs_decrement () =
     Alcotest.(check bool) "loads monotone non-increasing" true !ok
   done
 
+(* ---------------- schedule exploration --------------------------------- *)
+
+(* The qcheck model test above samples random op sequences under a
+   SEQUENTIAL execution; here the same model becomes a linearizability
+   spec and every interleaving of short concurrent op sequences is
+   explored deterministically (Sched + Lincheck). Small bounds suffice:
+   the Fig 7 races need two fibers and one or two ops. *)
+
+module Sx = Explore.Scenarios
+
+let short_seqs =
+  (* all op scripts of length <= 2 over {Inc; Dec; Load}: 13 of them *)
+  let ops = [ Sx.Inc; Sx.Dec; Sx.Load ] in
+  ([] :: List.map (fun o -> [ o ]) ops)
+  @ List.concat_map (fun a -> List.map (fun b -> [ a; b ]) ops) ops
+
+let pp_script s =
+  String.concat ","
+    (List.map (function Sx.Inc -> "inc" | Sx.Dec -> "dec" | Sx.Load -> "load") s)
+
+let test_sched_exhaustive_vs_model () =
+  (* every pair of short scripts on 2 fibers, every schedule up to 2
+     preemptions: the recorded history must linearize against the
+     sequential model *)
+  List.iter
+    (fun s0 ->
+      List.iter
+        (fun s1 ->
+          match
+            Sched.explore_dfs ~max_preemptions:2 (fun () ->
+                Sx.sticky_lincheck ~seqs:[| s0; s1 |] ())
+          with
+          | Sched.Pass _ -> ()
+          | r ->
+              Alcotest.failf "scripts [%s] / [%s]: %a" (pp_script s0) (pp_script s1)
+                Sched.pp_result r)
+        short_seqs)
+    short_seqs
+
+let test_sched_mutant_drop_help_caught () =
+  (* the injected Fig 7 bug — load announces the death without
+     publishing the help flag — must fail linearization on the
+     load-vs-final-decrement config, with a replayable schedule.
+     Fiber 0 drops its unit first so its loads race fiber 1's killing
+     decrement (loads before the fiber's own Dec can never see the
+     death in flight). *)
+  let mk () = Sx.sticky_lincheck ~mutate:true ~seqs:[| [ Sx.Dec; Sx.Load ]; [] |] () in
+  match Sched.explore_dfs mk with
+  | Sched.Fail f -> (
+      Format.printf "sticky model mutant caught: %s@.  replay %a@." f.Sched.f_message
+        Sched.pp_trace f.Sched.f_trace;
+      match Sched.replay ~trace:f.Sched.f_trace mk with
+      | Sched.Fail _ -> ()
+      | r -> Alcotest.failf "trace did not replay: %a" Sched.pp_result r)
+  | r -> Alcotest.failf "drop-help mutant survived model exploration: %a" Sched.pp_result r
+
 let () =
   Alcotest.run "sticky"
     [
       ("unit", Unit_sticky.tests @ Unit_casloop.tests);
       ("qcheck", [ QCheck_alcotest.to_alcotest qcheck_sequential ]);
+      ( "sched",
+        [
+          Alcotest.test_case "exhaustive vs model" `Quick test_sched_exhaustive_vs_model;
+          Alcotest.test_case "drop-help mutant caught" `Quick
+            test_sched_mutant_drop_help_caught;
+        ] );
       ( "parallel",
         [
           Alcotest.test_case "one death credit (sticky)" `Slow

@@ -20,8 +20,14 @@ let test_driver_basics () =
   let r = D.run ~spec:tiny_spec () in
   Alcotest.(check string) "scheme name" "EBR" r.scheme;
   Alcotest.(check bool) "performed ops" true (r.total_ops > 0);
-  Alcotest.(check bool) "elapsed sane" true (r.elapsed >= 0.05 && r.elapsed < 5.0);
+  (* No wall-clock bounds: they are flaky on loaded machines. Check the
+     measurement is internally consistent instead — elapsed is positive
+     and the reported throughput derives from ops/elapsed. *)
+  Alcotest.(check bool) "elapsed positive" true (r.elapsed > 0.);
   Alcotest.(check bool) "throughput positive" true (r.mops > 0.);
+  let derived = float_of_int r.total_ops /. r.elapsed /. 1e6 in
+  Alcotest.(check bool) "mops consistent with ops/elapsed" true
+    (abs_float (r.mops -. derived) <= 0.05 *. derived);
   Alcotest.(check bool) "live average near init size" true
     (r.live_avg > 64. && r.live_avg < 512.);
   Alcotest.(check int) "no leak" 0 r.leaked;

@@ -19,6 +19,25 @@ echo "== telemetry smoke (fig13a, scaled down) =="
 # is valid JSONL and the experiment's required metrics are non-zero.
 dune exec bin/cdrc_bench.exe -- stats fig13a --threads 2 --duration 0.1 --scale 50 --check
 
+echo "== schedule-exploration smoke =="
+# Deterministic schedule exploration of the lock-free cores (DESIGN.md
+# §8). Exhaustive DFS on the real algorithms must find no
+# counterexample; the MUTANT targets carry injected bugs and their runs
+# fail unless the explorer catches them — every failure prints a
+# replayable schedule (replay with: explore TARGET --replay TRACE).
+dune exec bin/cdrc_bench.exe -- explore sticky-one-death --mode dfs --preemptions 2
+dune exec bin/cdrc_bench.exe -- explore sticky-load-vs-dec --mode dfs
+dune exec bin/cdrc_bench.exe -- explore slots --mode dfs
+dune exec bin/cdrc_bench.exe -- explore weak-upgrade --mode dfs
+dune exec bin/cdrc_bench.exe -- explore sticky-drop-help --mode dfs
+dune exec bin/cdrc_bench.exe -- explore slots-skip-validate --mode dfs
+dune exec bin/cdrc_bench.exe -- explore racy-counter --mode dfs
+# Pinned-seed randomized corpus: the PCT and random explorers must also
+# catch the injected bugs with these exact seeds.
+dune exec bin/cdrc_bench.exe -- explore racy-counter --mode pct --seed 1 --iters 500
+dune exec bin/cdrc_bench.exe -- explore sticky-drop-help --mode random --seed 2 --iters 2000
+dune exec bin/cdrc_bench.exe -- explore slots-skip-validate --mode pct --seed 3 --iters 500
+
 echo "== no committed trace files =="
 if git ls-files 'results/*.jsonl' | grep -q .; then
   echo "error: results/*.jsonl are generated artifacts and must not be committed" >&2
