@@ -82,7 +82,10 @@ module Make (S : Smr.Smr_intf.S) = struct
     let rec loop () =
       let lt, g = protect c c.t.tail in
       match lt with
-      | None -> failwith "ms_queue: null tail"
+      | None ->
+          (* The tail link is never null; still, don't leak the slot. *)
+          release c g;
+          failwith "ms_queue: null tail"
       | Some tm ->
           (* Validate tail still = tm before trusting it. *)
           if not (link_is c.t.tail lt) then begin
@@ -117,7 +120,9 @@ module Make (S : Smr.Smr_intf.S) = struct
     let rec loop () =
       let lh, gh = protect c c.t.head in
       match lh with
-      | None -> failwith "ms_queue: null head"
+      | None ->
+          release c gh;
+          failwith "ms_queue: null head"
       | Some hm ->
           if not (link_is c.t.head lh) then begin
             release c gh;

@@ -151,14 +151,22 @@ module Make (S : Smr.Smr_intf.S) = struct
     let s =
       match e_s.dest with
       | Some m -> m
-      | None -> failwith "nm_tree: corrupt sentinel"
+      | None ->
+          release c g_s;
+          failwith "nm_tree: corrupt sentinel"
     in
     let anc = ref r and g_anc = ref None in
     let suc = ref s in
     let par = ref s and g_par = ref g_s in
     let e_c, g_c = protect c (deref s).left in
     let cur =
-      ref (match e_c.dest with Some m -> m | None -> failwith "nm_tree: corrupt sentinel")
+      ref
+        (match e_c.dest with
+        | Some m -> m
+        | None ->
+            release c g_c;
+            release c !g_par;
+            failwith "nm_tree: corrupt sentinel")
     in
     let g_cur = ref g_c in
     let cur_tag = ref e_c.tag in
@@ -338,7 +346,12 @@ module Make (S : Smr.Smr_intf.S) = struct
     let e_s, g_s = protect c (deref r).left in
     let par_g = ref g_s in
     let cur =
-      ref (match e_s.dest with Some m -> m | None -> failwith "nm_tree: corrupt sentinel")
+      ref
+        (match e_s.dest with
+        | Some m -> m
+        | None ->
+            release c g_s;
+            failwith "nm_tree: corrupt sentinel")
     in
     let g_cur = ref None in
     (* Swap: initial cur is S, protected by g_s. *)

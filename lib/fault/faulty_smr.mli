@@ -1,0 +1,38 @@
+(** Fault-injecting wrapper over any SMR scheme.
+
+    [Make (S) (P)] is again an [Smr.Smr_intf.S], so every functor-built
+    data structure and the whole acquire–retire / CDRC stack runs under
+    fault injection without touching scheme internals — instantiate the
+    structure over the wrapped module and drive it normally.
+
+    Behaviour around the plan's actions:
+
+    - [Delay]: spins before the underlying call.
+    - [Crash]: raises {!Fault_plan.Crashed} {e before} the underlying
+      call at every site except [On_retire], where it raises {e after}
+      the entry is recorded. This choice makes crashes resource-exact:
+      a crash can strand protection (slots, open critical sections) for
+      [abandon] to reap, but can never lose a retired entry (it is
+      queued) nor an ejected one (the eject never happened).
+    - [Stall]: the firing call completes, then the thread's protection
+      freezes: while stalled, [end_critical_section] and [release] are
+      suppressed (recorded, not executed) — the thread keeps pinning
+      whatever it pinned, exactly like a preempted thread holding
+      announcements — and [eject] returns [[]]. When the stall expires,
+      the first subsequent call replays the suppressed exits.
+    - [Drop_eject]: the next n entries the underlying [eject] returns
+      are re-retired instead (a lost scan: reclamation is delayed, not
+      leaked). *)
+
+module Make (S : Smr.Smr_intf.S) (_ : sig
+  val plan : Fault_plan.t
+end) : sig
+  include Smr.Smr_intf.S
+
+  val plan : Fault_plan.t
+  (** The plan this instance injects from. *)
+
+  val inner : t -> S.t
+  (** The wrapped scheme instance (for tests that assert on the
+      underlying state). *)
+end

@@ -20,8 +20,9 @@ let shard_mask = shards - 1
 type t = {
   h_name : string;
   (* shards * buckets plain-atomic cells; a shard's buckets are
-     contiguous so one domain's observations stay on few lines. *)
-  cells : int Atomic.t array;
+     deliberately contiguous (not Padded) so one domain's observations
+     stay on few lines. *)
+  cells : int Atomic.t array; [@rc_lint.allow "R6"]
 }
 
 let lock = Mutex.create ()

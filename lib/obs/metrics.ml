@@ -30,7 +30,11 @@ let set_enabled b = Atomic.set enabled_flag b
 
 let stride = 8 (* one live int per cache line's worth of words *)
 
-type counter = { c_name : string; cells : int array (* shards * stride *) }
+(* [cells] is hand-strided (shards * stride, one live int per cache
+   line) rather than Repro_util.Padded: counters are plain ints bumped
+   only by their owning domain, so the Atomic.t indirection Padded
+   imposes would cost on the hot path. *)
+type counter = { c_name : string; cells : int array [@rc_lint.allow "R6"] }
 type gauge = { g_name : string; cell : int Atomic.t }
 
 (* The registry mutex only guards registration and whole-registry

@@ -14,7 +14,7 @@ type t = {
   k : int;
   cleanup_freq : int;
   slots : Ident.t Padded.t; (* posted values, (k+1) per thread *)
-  handoffs : handoff Atomic.t array; (* one per physical slot *)
+  handoffs : handoff Padded.t; (* one per physical slot *)
   free : int list array; (* owner only *)
   retired : Ident.t Retire_queue.t array;
   orphans : Ident.t Orphanage.t;
@@ -27,7 +27,7 @@ let create ?epoch_freq:_ ?(cleanup_freq = 64) ?(slots_per_thread = 8) ~max_threa
     k;
     cleanup_freq = max cleanup_freq (2 * (k + 1) * max_threads);
     slots = Padded.create ((k + 1) * max_threads) Ident.null;
-    handoffs = Array.init ((k + 1) * max_threads) (fun _ -> Atomic.make None);
+    handoffs = Padded.create ((k + 1) * max_threads) None;
     free = Array.init max_threads (fun _ -> List.init k Fun.id);
     retired = Array.init max_threads (fun _ -> Retire_queue.create ());
     orphans = Orphanage.create ();
@@ -69,7 +69,7 @@ let confirm t ~pid g id =
 let release t ~pid g =
   let idx = slot_index t ~pid g in
   Padded.set t.slots idx Ident.null;
-  (match Atomic.exchange t.handoffs.(idx) None with
+  (match Padded.exchange t.handoffs idx None with
   | Some (id, op) -> Retire_queue.push t.retired.(pid) id op
   | None -> ());
   if g < t.k then t.free.(pid) <- g :: t.free.(pid)
@@ -101,11 +101,11 @@ let eject ?(force = false) t ~pid =
         if !posted_at < 0 then safe := op :: !safe
         else begin
           let i = !posted_at in
-          if Atomic.compare_and_set t.handoffs.(i) None (Some entry) then begin
+          if Padded.compare_and_set t.handoffs i None (Some entry) then begin
             (* Hand-off succeeded; but if the guard was released in the
                meantime nobody will inherit the buck, so take it back. *)
             if not (Ident.equal (Padded.get t.slots i) id) then begin
-              match Atomic.exchange t.handoffs.(i) None with
+              match Padded.exchange t.handoffs i None with
               | Some (id', op') when Ident.equal id' id ->
                   (* Reclaimed our own hand-off: the guard is gone, the
                      entry is unprotected. *)
@@ -135,7 +135,7 @@ let abandon t ~pid =
   for s = 0 to t.k do
     let idx = slot_index t ~pid s in
     Padded.set t.slots idx Ident.null;
-    match Atomic.exchange t.handoffs.(idx) None with
+    match Padded.exchange t.handoffs idx None with
     | Some entry -> parked := entry :: !parked
     | None -> ()
   done;
@@ -149,10 +149,12 @@ let drain_all t =
      hand-off slots from guards released... released guards clear their
      hand-off, so only unreleased-but-quiescent slots could hold one;
      sweep them too. *)
-  let parked =
-    Array.to_list t.handoffs
-    |> List.filter_map (fun h ->
-           match Atomic.exchange h None with Some (_, op) -> Some op | None -> None)
-  in
+  let parked = ref [] in
+  for i = 0 to Padded.length t.handoffs - 1 do
+    match Padded.exchange t.handoffs i None with
+    | Some (_, op) -> parked := op :: !parked
+    | None -> ()
+  done;
+  let parked = !parked in
   let orphaned = List.map snd (Orphanage.take_all t.orphans) in
   parked @ orphaned @ Array.fold_left (fun acc q -> acc @ Retire_queue.drain q) [] t.retired

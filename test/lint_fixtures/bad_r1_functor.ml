@@ -1,0 +1,13 @@
+(* rc-lint fixture: any module taking an ATOMIC parameter must route
+   every atomic op through it; Stdlib.Atomic bypasses the shim. Never
+   compiled. *)
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+end
+
+module Make (A : ATOMIC) = struct
+  let cheat () = Stdlib.Atomic.make 0
+  let fine () = A.make 0
+end

@@ -1,0 +1,2 @@
+(* rc-lint fixture: Obj escape outside the allowlist. Never compiled. *)
+let coerce (x : int) : string = Obj.magic x

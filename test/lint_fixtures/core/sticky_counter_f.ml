@@ -1,0 +1,7 @@
+(* rc-lint fixture: named after a schedule-sensitive core, so R1
+   applies to the whole file. Raw Atomic calls must be flagged — the
+   §8 explorer cannot interpose on them. Never compiled. *)
+module Make () = struct
+  let counter = Atomic.make 0
+  let bump () = Atomic.fetch_and_add counter 1
+end

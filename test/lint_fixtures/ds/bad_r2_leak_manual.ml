@@ -1,0 +1,9 @@
+(* rc-lint fixture: acquires, releases on the happy path, but the
+   early-raise path leaks the protection slot. Never compiled. *)
+let pop c =
+  let v, g = protect c c.head in
+  if is_bad v then failwith "bad head"
+  else begin
+    release c g;
+    v
+  end

@@ -1,0 +1,5 @@
+(* rc-lint fixture: acquires protection and never releases anywhere —
+   the slot is permanently leaked. Never compiled. *)
+let peek c =
+  let v, _g = protect c c.head in
+  v

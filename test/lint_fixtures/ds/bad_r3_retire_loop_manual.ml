@@ -1,0 +1,4 @@
+(* rc-lint fixture: retire on the CAS *failure* arm is flagged; the
+   success-arm retire in [delete_ok] is not. Never compiled. *)
+let delete c node = if Atomic.compare_and_set (link c) (Some node) None then () else retire c node
+let delete_ok c node = if Atomic.compare_and_set (link c) (Some node) None then retire c node

@@ -1,0 +1,7 @@
+(* rc-lint fixture: retire with no dominating CAS — the node may
+   still be reachable from the structure. Never compiled. *)
+let remove c node =
+  let next = next_of node in
+  mark node;
+  retire c node;
+  next

@@ -1,0 +1,10 @@
+(* rc-lint fixture: two identical leaks, one annotated. Suppression
+   must silence exactly that one site. Never compiled. *)
+let peek_annotated c =
+  let v, _g = protect c c.head in
+  v
+[@@rc_lint.allow "R2"]
+
+let peek_leaky c =
+  let v, _g = protect c c.head in
+  v

@@ -1,0 +1,5 @@
+(* rc-lint fixture: per-domain hot counters declared as bare arrays —
+   both fields share cache lines across domains. Never compiled. *)
+type t = { name : string; hits : int array; misses : int Atomic.t array }
+
+let bump t pid = t.hits.(pid) <- t.hits.(pid) + 1

@@ -1,0 +1,12 @@
+(* rc-lint fixture: the same raw-atomic escape as bad_r1_functor, but
+   annotated at the site — must produce zero findings. Never compiled. *)
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+end
+
+module Make (A : ATOMIC) = struct
+  let seeded () = (Stdlib.Atomic.make 0 [@rc_lint.allow "R1"])
+  let fine () = A.make 0
+end

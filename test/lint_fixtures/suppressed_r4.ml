@@ -1,0 +1,5 @@
+(* rc-lint fixture: a floating file-level allow silences R4 from this
+   point down — must produce zero findings. Never compiled. *)
+[@@@rc_lint.allow "R4"]
+
+let coerce (x : int) : string = Obj.magic x

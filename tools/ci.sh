@@ -11,6 +11,19 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== rc-lint (clean tree) =="
+# Static protocol checks (DESIGN.md §9): the shipped tree must carry
+# zero unsuppressed findings.
+dune build @lint
+
+echo "== rc-lint (fixture corpus must fail) =="
+# The deliberately-bad corpus guards the linter itself: if rules stop
+# firing, this inverted check catches it.
+if dune exec tools/rc_lint/rc_lint.exe -- test/lint_fixtures >/dev/null; then
+  echo "error: rc_lint found nothing in test/lint_fixtures — rules have regressed" >&2
+  exit 1
+fi
+
 echo "== robustness smoke (EBR, 0.2s) =="
 dune exec bin/cdrc_bench.exe -- robustness --duration 0.2 --schemes EBR --out ""
 

@@ -1,0 +1,51 @@
+(* rc-lint CLI.
+
+   Usage: rc_lint [--json] [--allow-unsafe FILE] [--list-rules] [PATH...]
+   Paths default to lib bin examples (relative to the cwd). Exit codes:
+   0 = clean, 1 = findings, 2 = usage/IO error. *)
+
+let () =
+  let json = ref false in
+  let allow_file = ref "" in
+  let list_rules = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit findings as a single JSON object");
+      ( "--allow-unsafe",
+        Arg.Set_string allow_file,
+        "FILE allowlist of files where R4 (Obj escapes) is permitted" );
+      ("--list-rules", Arg.Set list_rules, " print the rule catalogue and exit");
+    ]
+  in
+  let usage = "rc_lint [--json] [--allow-unsafe FILE] [--list-rules] [PATH...]" in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (id, doc) -> Printf.printf "%s  %s\n" id doc)
+      Rc_lint_lib.Lint.rules;
+    exit 0
+  end;
+  let paths =
+    match List.rev !paths with [] -> [ "lib"; "bin"; "examples" ] | ps -> ps
+  in
+  match
+    let allow_unsafe =
+      if !allow_file = "" then [] else Rc_lint_lib.Lint.load_allowlist !allow_file
+    in
+    List.iter
+      (fun p ->
+        if not (Sys.file_exists p) then failwith (Printf.sprintf "no such path: %s" p))
+      paths;
+    Rc_lint_lib.Lint.lint_paths ~allow_unsafe paths
+  with
+  | findings ->
+      if !json then print_endline (Rc_lint_lib.Finding.list_to_json findings)
+      else
+        List.iter
+          (fun f -> print_endline (Rc_lint_lib.Finding.to_human f))
+          findings;
+      exit (if findings = [] then 0 else 1)
+  | exception e ->
+      Printf.eprintf "rc_lint: %s\n" (Printexc.to_string e);
+      exit 2
