@@ -31,14 +31,24 @@ let scale_arg =
   let doc = "Divide structure sizes by this factor (smoke runs)." in
   Arg.(value & opt int 1 & info [ "scale" ] ~docv:"K" ~doc)
 
+let adapt_arg =
+  let doc =
+    "Run the adaptive reclamation controller alongside the sampler (on|off). The \
+     controller's decision log is printed with each result."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) false
+    & info [ "adapt" ] ~docv:"on|off" ~doc)
+
 let run_set_exp_cmd (e : Workload.Experiments.set_exp) =
   let doc = e.title in
-  let run threads duration schemes scale =
-    ignore (Workload.Experiments.run_set_exp ~threads ~duration ~schemes ~scale e)
+  let run threads duration schemes scale adapt =
+    ignore (Workload.Experiments.run_set_exp ~threads ~duration ~schemes ~scale ~adapt e)
   in
   Cmd.v
     (Cmd.info e.id ~doc)
-    Term.(const run $ threads_arg $ duration_arg $ schemes_arg $ scale_arg)
+    Term.(const run $ threads_arg $ duration_arg $ schemes_arg $ scale_arg $ adapt_arg)
 
 let fig12_cmd =
   let run threads duration schemes =
@@ -98,6 +108,43 @@ let robustness_cmd =
          "Fault injection: garbage growth under one stalled thread, and recovery via \
           abandon")
     Term.(const run $ duration_arg $ schemes_arg $ out_arg)
+
+let adaptivity_cmd =
+  let iters_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "iters" ] ~docv:"N" ~doc:"Churn iterations on the healthy domain.")
+  in
+  let bound_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "bound" ] ~docv:"B"
+          ~doc:
+            "Backlog bound asserted for the controller-on run (and exceeded by the \
+             fixed-knob run).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) (Some "results/adaptivity.txt")
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Results + decision-log output path (empty string disables).")
+  in
+  let run iters bound out =
+    let out = match out with Some "" -> None | o -> o in
+    (match out with
+    | Some path -> (try Unix.mkdir (Filename.dirname path) 0o755 with Unix.Unix_error _ -> ())
+    | None -> ());
+    let ok, _ = Workload.Experiments.run_adaptivity ~iters ~bound ?out () in
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "adaptivity"
+       ~doc:
+         "Adaptive controller vs fixed knobs under a stalled domain: deterministic \
+          replay asserting the controller keeps EBR's garbage bounded where fixed \
+          knobs do not (exit 1 on violation)")
+    Term.(const run $ iters_arg $ bound_arg $ out_arg)
 
 let stats_cmd =
   let exp_arg =
@@ -164,7 +211,7 @@ let custom_cmd =
   let range_arg =
     Arg.(value & opt (some int) None & info [ "range" ] ~doc:"Key range (default 2x size).")
   in
-  let run threads duration schemes structure update rq rq_size size range =
+  let run threads duration schemes adapt structure update rq rq_size size range =
     let e =
       {
         Workload.Experiments.id = "custom";
@@ -186,13 +233,13 @@ let custom_cmd =
             });
       }
     in
-    ignore (Workload.Experiments.run_set_exp ~threads ~duration ~schemes e)
+    ignore (Workload.Experiments.run_set_exp ~threads ~duration ~schemes ~adapt e)
   in
   Cmd.v
     (Cmd.info "custom" ~doc:"Custom workload on any structure")
     Term.(
-      const run $ threads_arg $ duration_arg $ schemes_arg $ structure_arg $ update_arg
-      $ rq_arg $ rq_size_arg $ size_arg $ range_arg)
+      const run $ threads_arg $ duration_arg $ schemes_arg $ adapt_arg $ structure_arg
+      $ update_arg $ rq_arg $ rq_size_arg $ size_arg $ range_arg)
 
 let explore_cmd =
   let target_arg =
@@ -301,7 +348,8 @@ let () =
     List.map run_set_exp_cmd Workload.Experiments.set_experiments
     @ [
         fig12_cmd; abl_sticky_cmd; abl_epochfreq_cmd; abl_hpslots_cmd; ext_stack_cmd;
-        robustness_cmd; stats_cmd; obs_overhead_cmd; custom_cmd; explore_cmd;
+        robustness_cmd; adaptivity_cmd; stats_cmd; obs_overhead_cmd; custom_cmd;
+        explore_cmd;
       ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -25,7 +25,13 @@ module Make (S : Smr.Smr_intf.S) = struct
 
   type guard = S.guard
 
-  type t = { smr : S.t; heap : Simheap.t }
+  type t = {
+    smr : S.t;
+    heap : Simheap.t;
+    (* AR-level batch sizing: ops the scheme released but the cap has
+       not yet let through. Owner-pid only, like the retired queues. *)
+    carry : Smr.Deferred.t Queue.t array;
+  }
 
   (* AR-level eject batch sizes: unlike the scheme-level histogram this
      sees the batches the *data structure* drains, i.e. after any
@@ -41,11 +47,22 @@ module Make (S : Smr.Smr_intf.S) = struct
     let heap =
       match heap with Some h -> h | None -> Simheap.create ~name:("ar-" ^ S.name) ()
     in
-    { smr = S.create ?epoch_freq ?cleanup_freq ?slots_per_thread ~max_threads (); heap }
+    {
+      smr = S.create ?epoch_freq ?cleanup_freq ?slots_per_thread ~max_threads ();
+      heap;
+      carry = Array.init max_threads (fun _ -> Queue.create ());
+    }
 
   let smr t = t.smr
   let heap t = t.heap
   let max_threads t = S.max_threads t.smr
+
+  let handle t =
+    {
+      Smr.Knobs.h_scheme = S.name;
+      h_knobs = S.knobs t.smr;
+      h_force_advance = (fun () -> S.force_advance t.smr);
+    }
 
   (* The hook runs strictly before the heap allocation: if it raises
      (fault injection crashing the thread), no block exists yet and
@@ -113,8 +130,24 @@ module Make (S : Smr.Smr_intf.S) = struct
   let retire_free t ~pid (m : _ managed) =
     retire t ~pid m (fun _pid -> Simheap.free m.block)
 
-  let eject ?force t ~pid =
-    let ops = S.eject ?force t.smr ~pid in
+  (* Batch sizing happens here as well as inside the scheme: whatever
+     the scheme releases joins the pid's carry queue, and at most
+     [Knobs.batch_cap] ops come back out per call (everything under
+     [~force], so drain/teardown loops still terminate). The cap is
+     re-read from the live knob block each call, so the controller's
+     moves take effect on the very next eject. *)
+  let eject ?(force = false) t ~pid =
+    let q = t.carry.(pid) in
+    List.iter (fun op -> Queue.push op q) (S.eject ~force t.smr ~pid);
+    let cap = if force then max_int else Smr.Knobs.batch_cap (S.knobs t.smr) in
+    let rec take n acc =
+      if n <= 0 then List.rev acc
+      else
+        match Queue.take_opt q with
+        | None -> List.rev acc
+        | Some op -> take (n - 1) (op :: acc)
+    in
+    let ops = take cap [] in
     (match ops with [] -> () | _ -> Obs.Histo.observe eject_batch_h ~pid (List.length ops));
     ops
 
@@ -184,9 +217,18 @@ module Make (S : Smr.Smr_intf.S) = struct
   (** Teardown at quiescence: apply every pending deferred operation,
       including cascades. Requires no concurrent activity. *)
   let quiesce t =
+    let drain_carry () =
+      Array.iter
+        (fun q ->
+          while not (Queue.is_empty q) do
+            (Queue.pop q) 0
+          done)
+        t.carry
+    in
     let rec go () =
+      drain_carry ();
       match S.drain_all t.smr with
-      | [] -> ()
+      | [] -> drain_carry ()
       | ops ->
           List.iter (fun op -> op 0) ops;
           go ()

@@ -1,0 +1,185 @@
+(* See the .mli for the policy spec. The split matters: [step] is the
+   whole brain and is pure — state in, signals in, state and actions
+   out — while [t] below merely applies actions to knob handles and
+   keeps the log. Determinism (and the monotonicity property) are
+   properties of [step] alone, so that is what the tests pin. *)
+
+type config = {
+  backlog_high : int;
+  backlog_low : int;
+  sync_scan_at : int;
+  p99_target : int;
+  min_batch : int;
+  max_batch : int;
+  base_cleanup : int;
+  max_cleanup : int;
+  grace : int;
+  hysteresis : int;
+}
+
+let default_config =
+  {
+    backlog_high = 512;
+    backlog_low = 128;
+    sync_scan_at = 2048;
+    p99_target = 64;
+    min_batch = 8;
+    max_batch = 4096;
+    base_cleanup = Smr.Knobs.default_cleanup_freq;
+    max_cleanup = 1024;
+    grace = 3;
+    hysteresis = 4;
+  }
+
+type signals = { backlog : int; p99 : int option; stalled : bool }
+
+type action =
+  | Force_advance
+  | Set_batch_cap of int
+  | Set_cleanup_freq of int
+  | Set_sync_scan of bool
+  | Escalate_abandon
+
+let pp_action = function
+  | Force_advance -> "force_advance"
+  | Set_batch_cap n -> Printf.sprintf "batch_cap=%d" n
+  | Set_cleanup_freq n -> Printf.sprintf "cleanup_freq=%d" n
+  | Set_sync_scan b -> Printf.sprintf "sync_scan=%b" b
+  | Escalate_abandon -> "escalate_abandon"
+
+type state = {
+  tick : int;
+  batch_cap : int;
+  cleanup_freq : int;
+  sync_scan : bool;
+  stuck_ticks : int; (* consecutive stalled ticks *)
+  cooldown : int; (* quiet ticks still owed before the cap may regrow *)
+  escalated : bool; (* latch: escalate at most once per stall episode *)
+}
+
+let init cfg =
+  {
+    tick = 0;
+    batch_cap = cfg.max_batch;
+    cleanup_freq = cfg.base_cleanup;
+    sync_scan = false;
+    stuck_ticks = 0;
+    cooldown = 0;
+    escalated = false;
+  }
+
+let clamp lo hi v = max lo (min hi v)
+
+let step cfg st (s : signals) =
+  let actions = ref [] in
+  let emit a = actions := a :: !actions in
+  (* Policy 1: memory pressure. [pressure] and [calm] are monotone
+     threshold indicators of the backlog; everything derived from them
+     below stays monotone in it. *)
+  let pressure = s.backlog >= cfg.backlog_high in
+  let calm = s.backlog <= cfg.backlog_low in
+  if pressure then emit Force_advance;
+  let sync_scan =
+    if s.backlog >= cfg.sync_scan_at then true
+    else if calm then false
+    else st.sync_scan
+  in
+  (* Policy 2: stall response. While the frontier is pinned, eject
+     scans find nothing; healthy domains double their scan interval
+     instead of burning it, and revert the moment the stall clears. *)
+  let stuck_ticks = if s.stalled then st.stuck_ticks + 1 else 0 in
+  let cleanup_freq =
+    if s.stalled then
+      clamp cfg.base_cleanup cfg.max_cleanup (st.cleanup_freq * 2)
+    else cfg.base_cleanup
+  in
+  let escalate = s.stalled && stuck_ticks >= cfg.grace && not st.escalated in
+  if escalate then emit Escalate_abandon;
+  let escalated = (st.escalated || escalate) && s.stalled in
+  (* Policy 3: SLO guard, sharing the batch cap with policy 1. Shrink
+     beats grow; growth additionally requires a calm backlog and a
+     spent cooldown, and every shrink re-arms the cooldown — the
+     hysteresis that keeps the cap from flapping. *)
+  let slo_shrink = match s.p99 with Some p -> p > cfg.p99_target | None -> false in
+  let slo_ok = match s.p99 with Some p -> p <= cfg.p99_target | None -> true in
+  let batch_cap, cooldown =
+    if pressure || slo_shrink then
+      (clamp cfg.min_batch cfg.max_batch (st.batch_cap / 2), cfg.hysteresis)
+    else if calm && slo_ok && st.cooldown = 0 then
+      (clamp cfg.min_batch cfg.max_batch (st.batch_cap * 2), 0)
+    else (st.batch_cap, max 0 (st.cooldown - 1))
+  in
+  if batch_cap <> st.batch_cap then emit (Set_batch_cap batch_cap);
+  if cleanup_freq <> st.cleanup_freq then emit (Set_cleanup_freq cleanup_freq);
+  if sync_scan <> st.sync_scan then emit (Set_sync_scan sync_scan);
+  let st' =
+    {
+      tick = st.tick + 1;
+      batch_cap;
+      cleanup_freq;
+      sync_scan;
+      stuck_ticks;
+      cooldown;
+      escalated;
+    }
+  in
+  (st', List.rev !actions)
+
+let state_batch_cap st = st.batch_cap
+let state_cleanup_freq st = st.cleanup_freq
+let state_sync_scan st = st.sync_scan
+
+(* ---------------------------------------------------------------- *)
+
+let max_log = 4096
+
+type t = {
+  cfg : config;
+  handles : Smr.Knobs.handle list;
+  on_escalate : (unit -> unit) option;
+  mutable st : state;
+  mutable log_rev : string list;
+  mutable logged : int;
+  mutable dropped : int;
+}
+
+let create ?(config = default_config) ?on_escalate handles =
+  { cfg = config; handles; on_escalate; st = init config; log_rev = []; logged = 0; dropped = 0 }
+
+let config t = t.cfg
+
+let apply t = function
+  | Force_advance -> List.iter (fun h -> h.Smr.Knobs.h_force_advance ()) t.handles
+  | Set_batch_cap v ->
+      List.iter (fun h -> Smr.Knobs.set_batch_cap h.Smr.Knobs.h_knobs v) t.handles
+  | Set_cleanup_freq v ->
+      List.iter (fun h -> Smr.Knobs.set_cleanup_freq h.Smr.Knobs.h_knobs v) t.handles
+  | Set_sync_scan b ->
+      List.iter (fun h -> Smr.Knobs.set_sync_scan h.Smr.Knobs.h_knobs b) t.handles
+  | Escalate_abandon -> ( match t.on_escalate with Some f -> f () | None -> ())
+
+let log_line t (s : signals) actions =
+  if t.logged >= max_log then t.dropped <- t.dropped + 1
+  else begin
+    let line =
+      Printf.sprintf "t=%d backlog=%d p99=%s stalled=%b | %s" t.st.tick s.backlog
+        (match s.p99 with Some p -> string_of_int p | None -> "-")
+        s.stalled
+        (String.concat " " (List.map pp_action actions))
+    in
+    t.log_rev <- line :: t.log_rev;
+    t.logged <- t.logged + 1
+  end
+
+let observe t s =
+  let st', actions = step t.cfg t.st s in
+  t.st <- st';
+  List.iter (apply t) actions;
+  if actions <> [] then log_line t s actions;
+  actions
+
+let decisions t =
+  let tail =
+    if t.dropped > 0 then [ Printf.sprintf "(+%d decisions dropped)" t.dropped ] else []
+  in
+  List.rev_append t.log_rev tail

@@ -1,0 +1,109 @@
+(** The adaptive reclamation controller (DESIGN.md §10).
+
+    A feedback loop over the {!Smr.Knobs.handle}s a structure exposes
+    through its [control] accessor, driven by three [lib/obs] signals
+    per tick — the retired backlog, the p99 retire→free latency, and
+    the watchdog's stall verdict — and implementing three policies:
+
+    + {b Memory-pressure escalation}: backlog at or above
+      [backlog_high] forces an epoch/era advance every tick and shrinks
+      the eject batch cap; at [sync_scan_at] the controller engages the
+      last-resort synchronous-scan mode (every eject call scans), which
+      disengages only once the backlog falls back to [backlog_low].
+    + {b Stall response}: while the watchdog reports a stuck frontier,
+      healthy domains back off their scan interval (doubling
+      [cleanup_freq] per tick up to [max_cleanup] — scanning is futile
+      while the frontier is pinned); after [grace] consecutive stuck
+      ticks the controller escalates once to the abandon /
+      orphanage-adoption path via the [on_escalate] callback.
+    + {b SLO guard}: p99 retire→free latency above [p99_target] halves
+      the batch cap; once latency is back under target {e and} the
+      backlog is calm, the cap regrows — but only after [hysteresis]
+      quiet ticks, so the loop cannot oscillate between shrink and
+      grow.
+
+    Every knob move is a bounded step (×2 / ÷2, clamped to
+    [[min_batch, max_batch]] / [[base_cleanup, max_cleanup]]), and
+    {!step} is a pure function of [(config, state, signals)] — no
+    clocks, no randomness — so controller runs replay bit-identically
+    under the traced scheduler and the tests pin exact decision
+    sequences. *)
+
+type config = {
+  backlog_high : int;  (** force-advance + shrink at or above this *)
+  backlog_low : int;  (** hysteresis floor: calm again at or below *)
+  sync_scan_at : int;  (** engage synchronous-scan mode at or above *)
+  p99_target : int;  (** SLO: p99 retire→free latency target, in ticks *)
+  min_batch : int;  (** batch-cap clamp, lower *)
+  max_batch : int;  (** batch-cap clamp, upper (and initial value) *)
+  base_cleanup : int;  (** cleanup_freq when no stall is in progress *)
+  max_cleanup : int;  (** cleanup_freq backoff ceiling *)
+  grace : int;  (** consecutive stuck ticks before escalating *)
+  hysteresis : int;  (** quiet ticks required before the cap regrows *)
+}
+
+val default_config : config
+(** [backlog_high = 512], [backlog_low = 128], [sync_scan_at = 2048],
+    [p99_target = 64], [min_batch = 8], [max_batch = 4096],
+    [base_cleanup = Knobs.default_cleanup_freq], [max_cleanup = 1024],
+    [grace = 3], [hysteresis = 4]. *)
+
+type signals = {
+  backlog : int;  (** retired-but-unreclaimed entries (structure total) *)
+  p99 : int option;
+      (** p99 retire→free latency in retire ticks; [None] when
+          telemetry is disabled or no sample exists yet *)
+  stalled : bool;  (** watchdog verdict: frontier stuck this tick *)
+}
+
+type action =
+  | Force_advance
+  | Set_batch_cap of int
+  | Set_cleanup_freq of int
+  | Set_sync_scan of bool
+  | Escalate_abandon
+
+val pp_action : action -> string
+
+(** {2 The pure core} *)
+
+type state
+
+val init : config -> state
+
+val step : config -> state -> signals -> state * action list
+(** One controller tick. Deterministic, total, and monotone in the
+    backlog signal: with everything else fixed, a larger backlog never
+    yields a larger batch cap, never un-fires [Force_advance], and
+    never disengages sync-scan mode (the qcheck property). Emitted
+    [Set_*] actions always carry values inside the config's clamps. *)
+
+(** Inspection accessors over the abstract state — what the effective
+    knob values would be after the tick (tests and debugging). *)
+
+val state_batch_cap : state -> int
+val state_cleanup_freq : state -> int
+val state_sync_scan : state -> bool
+
+(** {2 The imperative shell} *)
+
+type t
+
+val create :
+  ?config:config -> ?on_escalate:(unit -> unit) -> Smr.Knobs.handle list -> t
+(** A controller over the given handles. [on_escalate] is the
+    abandon/adoption hook invoked (once per stall episode) when the
+    grace period expires; without it the escalation is only logged. *)
+
+val config : t -> config
+
+val observe : t -> signals -> action list
+(** Run one {!step}, apply the resulting actions to every handle
+    (knob setters, force-advance, the escalate callback), append a
+    decision-log line, and return the actions. *)
+
+val decisions : t -> string list
+(** The decision log, oldest first: one line per tick that emitted at
+    least one action — a deterministic function of the signal history.
+    Capped at 4096 lines; later entries are dropped and counted in the
+    final line. *)

@@ -925,6 +925,20 @@ module Make (S : Smr.Smr_intf.S) = struct
     in
     sum rt.strong_ar + sum rt.weak_ar + sum rt.dispose_ar
 
+  (** CONTROLLABLE surface: one knob handle per underlying scheme
+      instance (strong / weak / dispose — the latter two exist even
+      under [~support_weak:false] but then never accumulate). The
+      adaptive controller tunes all of them in lockstep. *)
+  let control rt =
+    let h role ar =
+      {
+        Smr.Knobs.h_scheme = scheme_name ^ "." ^ role;
+        h_knobs = S.knobs ar;
+        h_force_advance = (fun () -> S.force_advance ar);
+      }
+    in
+    [ h "strong" rt.strong_ar; h "weak" rt.weak_ar; h "dispose" rt.dispose_ar ]
+
   let watchdog_check rt =
     match S.reclamation_frontier rt.strong_ar with
     | None -> None

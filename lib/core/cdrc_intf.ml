@@ -52,6 +52,11 @@ module type S = sig
       deferred-operation backlog grew (see [Obs.Watchdog]); [None]
       otherwise. *)
 
+  val control : rt -> Smr.Knobs.handle list
+  (** CONTROLLABLE surface: one knob handle per underlying scheme
+      instance (strong / weak / dispose), for the adaptive
+      controller. *)
+
   (** {1 Pointer values} *)
 
   type 'a ptr

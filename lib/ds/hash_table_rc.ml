@@ -55,4 +55,5 @@ module Make (R : Cdrc.Intf.S) = struct
   let snapshot_stats t = Some (R.snapshot_stats t.list.L.rt)
   let retired_backlog t = R.retired_backlog t.list.L.rt
   let watchdog_check t = R.watchdog_check t.list.L.rt
+  let control t = R.control t.list.L.rt
 end

@@ -260,4 +260,5 @@ module Make (R : Cdrc.Intf.S) = struct
   let snapshot_stats t = Some (R.snapshot_stats t.rt)
   let retired_backlog t = R.retired_backlog t.rt
   let watchdog_check t = R.watchdog_check t.rt
+  let control t = R.control t.rt
 end

@@ -466,6 +466,7 @@ module Make (S : Smr.Smr_intf.S) = struct
     Ar.quiesce t.ar
   let snapshot_stats _ = None
   let retired_backlog t = Ar.total_pending t.ar
+  let control t = [ Ar.handle t.ar ]
 
   let watchdog_check t =
     match Ar.watchdog_check t.ar t.wd with

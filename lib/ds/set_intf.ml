@@ -73,6 +73,12 @@ module type S = sig
       calls this periodically and collects verdicts into
       [result.watchdog_verdicts]. *)
 
+  val control : t -> Smr.Knobs.handle list
+  (** The structure's CONTROLLABLE surface: one knob handle per
+      underlying scheme instance (one for manual structures, three —
+      strong/weak/dispose — for RC ones). The driver's sampler hands
+      these to the adaptive controller when [--adapt] is on. *)
+
   val teardown : t -> unit
   (** Free every node and apply all deferred operations; afterwards
       [live_objects t = 0] unless the structure leaked. Quiescent-only. *)

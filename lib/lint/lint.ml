@@ -42,6 +42,10 @@ let rules : (string * string) list =
     ( "R6",
       "padding: per-domain hot counter arrays in lib/obs and lib/smr must go through \
        Repro_util.Padded (or annotate the deliberate layout)" );
+    ( "R7",
+      "knob-capture: scheme code must read tuning knobs through Knobs.t accessors, never \
+       store them in its own record fields — a captured constant is invisible to the \
+       adaptive controller" );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -54,9 +58,10 @@ let rules : (string * string) list =
 type roles = {
   core : bool;  (* one of the three schedule-sensitive cores: whole-file R1 *)
   manual_ds : bool;  (* a *_manual.ml data structure: R2 + R3 *)
-  smr_scheme : bool;  (* under an smr/ directory: R5 *)
+  smr_scheme : bool;  (* under an smr/ directory: R5 + R7 *)
   obs_smr : bool;  (* under obs/ or smr/: R6 *)
   unsafe_allowed : bool;  (* listed in allow_unsafe.txt: R4 off *)
+  knobs_module : bool;  (* knobs.ml itself — the one legal knob store; R7 off *)
 }
 
 let path_segments p =
@@ -88,6 +93,7 @@ let roles_of ~allow_unsafe path =
     smr_scheme = has "smr";
     obs_smr = has "obs" || has "smr";
     unsafe_allowed = List.exists (fun entry -> suffix_matches ~entry path) allow_unsafe;
+    knobs_module = String.equal base "knobs.ml";
   }
 
 (* ------------------------------------------------------------------ *)
@@ -606,6 +612,41 @@ let run_r6 ctx st =
   it#structure st
 
 (* ------------------------------------------------------------------ *)
+(* R7: knob-capture                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A scheme record field named after a tuning knob is a constant
+   captured at [create] time: the adaptive controller's setters write
+   the Knobs.t block, so a copy in scheme state silently stops
+   tracking. Schemes store the [Knobs.t] itself and re-read through
+   its accessors on every use. ([slots_per_thread] is exempt —
+   structural, sized at create by design.) *)
+
+let knob_field_names = [ "epoch_freq"; "cleanup_freq"; "batch_cap"; "sync_scan" ]
+
+let run_r7 ctx st =
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! label_declaration ld =
+        if
+          List.mem ld.pld_name.txt knob_field_names
+          && not
+               (allows "R7" ld.pld_attributes || allows "R7" ld.pld_type.ptyp_attributes)
+        then
+          report ctx "R7" ld.pld_loc
+            (Printf.sprintf
+               "field `%s` captures a tuning knob in scheme state — store the Knobs.t \
+                block and read `Knobs.%s` at each use so the adaptive controller can \
+                retune it"
+               ld.pld_name.txt ld.pld_name.txt);
+        super#label_declaration ld
+    end
+  in
+  it#structure st
+
+(* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -646,6 +687,7 @@ let lint_structure ~roles ctx st =
   if not roles.unsafe_allowed then run_r4 ctx st;
   if roles.smr_scheme then run_r5 ctx st;
   if roles.obs_smr then run_r6 ctx st;
+  if roles.smr_scheme && not roles.knobs_module then run_r7 ctx st;
   let spans = file_suppressions st in
   ctx.findings <- List.filter (fun f -> not (suppressed_by spans f)) ctx.findings
 

@@ -25,6 +25,7 @@ type t = {
   slot_exhausted : Metrics.counter;
   confirm_retry : Metrics.counter;
   retire : Metrics.counter;
+  knob_ignored : Metrics.counter;
   eject_scans : Metrics.counter;
   eject_ops : Metrics.counter;
   abandon : Metrics.counter;
@@ -45,6 +46,7 @@ let v scheme =
     slot_exhausted = Metrics.counter (p ^ "slot_exhausted");
     confirm_retry = Metrics.counter (p ^ "confirm_retry");
     retire = Metrics.counter (p ^ "retire");
+    knob_ignored = Metrics.counter (p ^ "knob_ignored");
     eject_scans = Metrics.counter (p ^ "eject.scans");
     eject_ops = Metrics.counter (p ^ "eject.ops");
     abandon = Metrics.counter (p ^ "abandon");
@@ -63,6 +65,12 @@ let on_acquire t ~pid =
   if Trace.should_sample ~pid then Trace.emit ~pid t.ev_acquire
 
 let on_slot_exhausted t ~pid = Metrics.incr t.slot_exhausted ~pid
+
+(* A knob was passed to [create] that this scheme does not read (e.g.
+   [epoch_freq] for HP, anything for Leaky). The value was still
+   range-checked; the counter records the misuse so callers tuning a
+   knob that cannot matter find out from [stats] instead of silence. *)
+let on_knob_ignored t ~knob:_ = Metrics.incr t.knob_ignored ~pid:0
 
 let on_confirm_retry t ~pid =
   Metrics.incr t.confirm_retry ~pid;

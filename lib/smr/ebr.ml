@@ -12,8 +12,7 @@ type guard = int
 
 type t = {
   max_threads : int;
-  epoch_freq : int;
-  cleanup_freq : int;
+  knobs : Knobs.t;
   ann : int Padded.t;
   cur_epoch : int Atomic.t;
   alloc_tally : int Padded.t; (* owner-thread only; padded for locality *)
@@ -21,11 +20,13 @@ type t = {
   orphans : int Orphanage.t; (* entries abandoned by crashed threads *)
 }
 
-let create ?(epoch_freq = 10) ?(cleanup_freq = 64) ?slots_per_thread:_ ~max_threads () =
+let create ?epoch_freq ?cleanup_freq ?slots_per_thread ~max_threads () =
+  (match slots_per_thread with
+  | Some _ -> Obs.Scheme_metrics.on_knob_ignored om ~knob:"slots_per_thread"
+  | None -> ());
   {
     max_threads;
-    epoch_freq;
-    cleanup_freq;
+    knobs = Knobs.create ?epoch_freq ?cleanup_freq ?slots_per_thread ~scheme:name ();
     ann = Padded.create max_threads empty_ann;
     cur_epoch = Atomic.make 0;
     alloc_tally = Padded.create max_threads 0;
@@ -34,10 +35,13 @@ let create ?(epoch_freq = 10) ?(cleanup_freq = 64) ?slots_per_thread:_ ~max_thre
   }
 
 let max_threads t = t.max_threads
+let knobs t = t.knobs
 let current_epoch t = Atomic.get t.cur_epoch
 let advance_epoch t =
   ignore (Atomic.fetch_and_add t.cur_epoch 1);
   Obs.Metrics.incr epoch_advances ~pid:0
+
+let force_advance t = advance_epoch t
 
 let begin_critical_section t ~pid =
   (* Announcing a possibly stale epoch is conservative-safe: it only
@@ -49,7 +53,7 @@ let end_critical_section t ~pid = Padded.set t.ann pid empty_ann
 let alloc_hook t ~pid =
   let tally = Padded.get t.alloc_tally pid + 1 in
   Padded.set t.alloc_tally pid tally;
-  if tally mod t.epoch_freq = 0 then advance_epoch t;
+  if tally mod Knobs.epoch_freq t.knobs = 0 then advance_epoch t;
   0
 
 let try_acquire _t ~pid _id =
@@ -81,11 +85,16 @@ let adopt_orphans t ~safe =
 
 let eject ?(force = false) t ~pid =
   let q = t.retired.(pid) in
-  if force || Retire_queue.due q ~every:t.cleanup_freq then begin
+  if
+    force || Knobs.sync_scan t.knobs
+    || Retire_queue.due q ~every:(Knobs.cleanup_freq t.knobs)
+  then begin
     let min_ann = min_announced t in
     let safe e = e < min_ann in
+    let max = if force then max_int else Knobs.batch_cap t.knobs in
     (* Retire epochs are monotone within a thread's queue. *)
-    Obs.Scheme_metrics.on_eject om ~pid (Retire_queue.pop_prefix q ~safe @ adopt_orphans t ~safe)
+    Obs.Scheme_metrics.on_eject om ~pid
+      (Retire_queue.pop_prefix ~max q ~safe @ adopt_orphans t ~safe)
   end
   else []
 

@@ -6,7 +6,8 @@
     strictly greater than [e] — every critical section active at the
     retirement has then finished. Following the paper's tuning (§5.1),
     the global epoch advances once per [epoch_freq] allocations
-    (default 10) rather than by epoch consensus.
+    (default {!Knobs.default_epoch_freq}) rather than by epoch
+    consensus.
 
     [try_acquire]/[confirm] degenerate to no-ops: the critical section
     itself protects every pointer read inside it, which is why EBR

@@ -14,8 +14,8 @@ let empty_era = -1
 type t = {
   max_threads : int;
   k : int;
-  epoch_freq : int;
-  cleanup_freq : int;
+  knobs : Knobs.t;
+  cleanup_floor : int; (* amortization floor: 2 * announcements *)
   era : int Atomic.t;
   slots : int Padded.t; (* announced eras, (k+1) per thread *)
   free : int list array; (* owner only *)
@@ -24,13 +24,14 @@ type t = {
   orphans : (int * int) Orphanage.t;
 }
 
-let create ?(epoch_freq = 40) ?(cleanup_freq = 64) ?(slots_per_thread = 8) ~max_threads () =
-  let k = slots_per_thread in
+let create ?epoch_freq ?cleanup_freq ?slots_per_thread ~max_threads () =
+  let knobs = Knobs.create ?epoch_freq ?cleanup_freq ?slots_per_thread ~scheme:name () in
+  let k = Knobs.slots_per_thread knobs in
   {
     max_threads;
     k;
-    epoch_freq;
-    cleanup_freq = max cleanup_freq (2 * (k + 1) * max_threads);
+    knobs;
+    cleanup_floor = 2 * (k + 1) * max_threads;
     era = Atomic.make 0;
     slots = Padded.create ((k + 1) * max_threads) empty_era;
     free = Array.init max_threads (fun _ -> List.init k Fun.id);
@@ -39,11 +40,18 @@ let create ?(epoch_freq = 40) ?(cleanup_freq = 64) ?(slots_per_thread = 8) ~max_
     orphans = Orphanage.create ();
   }
 
+(* See Hp.effective_cleanup_freq: the floor keeps scan cost amortized
+   even when the controller lowers the knob. *)
+let effective_cleanup_freq t = max (Knobs.cleanup_freq t.knobs) t.cleanup_floor
+
 let max_threads t = t.max_threads
+let knobs t = t.knobs
 let current_era t = Atomic.get t.era
 let advance_era t =
   ignore (Atomic.fetch_and_add t.era 1);
   Obs.Metrics.incr epoch_advances ~pid:0
+
+let force_advance t = advance_era t
 let slot_index t ~pid local = (pid * (t.k + 1)) + local
 let begin_critical_section _t ~pid:_ = ()
 let end_critical_section _t ~pid:_ = ()
@@ -51,7 +59,7 @@ let end_critical_section _t ~pid:_ = ()
 let alloc_hook t ~pid =
   let tally = Padded.get t.alloc_tally pid + 1 in
   Padded.set t.alloc_tally pid tally;
-  if tally mod t.epoch_freq = 0 then advance_era t;
+  if tally mod Knobs.epoch_freq t.knobs = 0 then advance_era t;
   Atomic.get t.era
 
 let try_acquire t ~pid _id =
@@ -95,7 +103,10 @@ let retire t ~pid _id ~birth op =
 
 let eject ?(force = false) t ~pid =
   let q = t.retired.(pid) in
-  if force || Retire_queue.due q ~every:t.cleanup_freq then begin
+  if
+    force || Knobs.sync_scan t.knobs
+    || Retire_queue.due q ~every:(effective_cleanup_freq t)
+  then begin
     let eras = ref [] in
     let total = (t.k + 1) * t.max_threads in
     for i = 0 to total - 1 do
@@ -114,7 +125,8 @@ let eject ?(force = false) t ~pid =
           Orphanage.put t.orphans blocked;
           List.map snd ready
     in
-    Obs.Scheme_metrics.on_eject om ~pid (Retire_queue.filter_pop q ~safe @ adopted)
+    let max = if force then max_int else Knobs.batch_cap t.knobs in
+    Obs.Scheme_metrics.on_eject om ~pid (Retire_queue.filter_pop ~max q ~safe @ adopted)
   end
   else []
 

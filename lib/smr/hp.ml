@@ -13,26 +13,39 @@ type guard = int
 type t = {
   max_threads : int;
   k : int; (* non-reserved slots per thread *)
-  cleanup_freq : int;
+  knobs : Knobs.t;
+  cleanup_floor : int; (* amortization floor: 2 * announcements *)
   slots : Ident.t Padded.t; (* (k+1) * max_threads announcement slots *)
   free : int list array; (* per-thread free local slot indices; owner only *)
   retired : Ident.t Retire_queue.t array;
   orphans : Ident.t Orphanage.t;
 }
 
-let create ?epoch_freq:_ ?(cleanup_freq = 64) ?(slots_per_thread = 8) ~max_threads () =
-  let k = slots_per_thread in
+let create ?epoch_freq ?cleanup_freq ?slots_per_thread ~max_threads () =
+  (match epoch_freq with
+  | Some _ -> Obs.Scheme_metrics.on_knob_ignored om ~knob:"epoch_freq"
+  | None -> ());
+  let knobs = Knobs.create ?epoch_freq ?cleanup_freq ?slots_per_thread ~scheme:name () in
+  let k = Knobs.slots_per_thread knobs in
   {
     max_threads;
     k;
-    cleanup_freq = max cleanup_freq (2 * (k + 1) * max_threads);
+    knobs;
+    cleanup_floor = 2 * (k + 1) * max_threads;
     slots = Padded.create ((k + 1) * max_threads) Ident.null;
     free = Array.init max_threads (fun _ -> List.init k Fun.id);
     retired = Array.init max_threads (fun _ -> Retire_queue.create ());
     orphans = Orphanage.create ();
   }
 
+(* The scan-cost amortization argument needs cleanup_freq >= O(total
+   announcements); the floor is applied at read time so the controller
+   may still lower the knob and the scheme degrades gracefully. *)
+let effective_cleanup_freq t = max (Knobs.cleanup_freq t.knobs) t.cleanup_floor
+
 let max_threads t = t.max_threads
+let knobs t = t.knobs
+let force_advance _t = ()
 let slots_per_thread t = t.k
 let slot_index t ~pid local = (pid * (t.k + 1)) + local
 let begin_critical_section _t ~pid:_ = ()
@@ -79,7 +92,10 @@ let retire t ~pid id ~birth:_ op =
 
 let eject ?(force = false) t ~pid =
   let q = t.retired.(pid) in
-  if force || Retire_queue.due q ~every:t.cleanup_freq then begin
+  if
+    force || Knobs.sync_scan t.knobs
+    || Retire_queue.due q ~every:(effective_cleanup_freq t)
+  then begin
     (* Snapshot every announcement; entries are held back while their
        identity appears anywhere. The announcement count is small
        (P*(k+1)), so a linear membership test beats hashing — identity
@@ -100,7 +116,8 @@ let eject ?(force = false) t ~pid =
           Orphanage.put t.orphans blocked;
           List.map snd ready
     in
-    Obs.Scheme_metrics.on_eject om ~pid (Retire_queue.filter_pop q ~safe @ adopted)
+    let max = if force then max_int else Knobs.batch_cap t.knobs in
+    Obs.Scheme_metrics.on_eject om ~pid (Retire_queue.filter_pop ~max q ~safe @ adopted)
   end
   else []
 

@@ -13,6 +13,7 @@ type hstate = { active : int; head : rnode }
 
 type t = {
   max_threads : int;
+  knobs : Knobs.t;
   state : hstate Atomic.t;
   snapshot : rnode Padded.t; (* head observed at each thread's enter *)
   in_cs : bool Padded.t; (* whether each thread holds an open critical section *)
@@ -20,9 +21,23 @@ type t = {
   pending : int Atomic.t; (* retired - ejected, diagnostics *)
 }
 
-let create ?epoch_freq:_ ?cleanup_freq:_ ?slots_per_thread:_ ~max_threads () =
+let create ?epoch_freq ?cleanup_freq ?slots_per_thread ~max_threads () =
+  (* Hyaline's batch ref-stamping has no epoch clock, no scan
+     amortization, and no announcement slots: every tuning knob except
+     [batch_cap] is meaningless here. The values are still validated
+     (a nonsense value is a bug even when unread) and the misuse is
+     counted. *)
+  List.iter
+    (fun (knob, v) ->
+      if Option.is_some v then Obs.Scheme_metrics.on_knob_ignored om ~knob)
+    [
+      ("epoch_freq", epoch_freq);
+      ("cleanup_freq", cleanup_freq);
+      ("slots_per_thread", slots_per_thread);
+    ];
   {
     max_threads;
+    knobs = Knobs.create ?epoch_freq ?cleanup_freq ?slots_per_thread ~scheme:name ();
     state = Atomic.make { active = 0; head = Nil };
     snapshot = Padded.create max_threads Nil;
     in_cs = Padded.create max_threads false;
@@ -31,6 +46,8 @@ let create ?epoch_freq:_ ?cleanup_freq:_ ?slots_per_thread:_ ~max_threads () =
   }
 
 let max_threads t = t.max_threads
+let knobs t = t.knobs
+let force_advance _t = ()
 let active_count t = (Atomic.get t.state).active
 
 let rec push_safe t op =
@@ -106,11 +123,25 @@ let retire t ~pid id ~birth op =
   ignore (Atomic.fetch_and_add t.pending 1);
   retire t ~pid id ~birth op
 
-let eject ?force:_ t ~pid =
+let eject ?(force = false) t ~pid =
   match Atomic.get t.safe with
   | [] -> []
   | _ ->
       let ops = Atomic.exchange t.safe [] in
+      (* Cap the batch: the excess goes back on the safe list (it is
+         already reclaimable, the controller just wants it released in
+         smaller doses). *)
+      let cap = if force then max_int else Knobs.batch_cap t.knobs in
+      let ops =
+        let rec split n acc = function
+          | [] -> List.rev acc
+          | rest when n = 0 ->
+              List.iter (push_safe t) rest;
+              List.rev acc
+          | op :: rest -> split (n - 1) (op :: acc) rest
+        in
+        if cap = max_int then ops else split cap [] ops
+      in
       ignore (Atomic.fetch_and_add t.pending (-List.length ops));
       Obs.Scheme_metrics.on_eject om ~pid ops
 
@@ -128,4 +159,4 @@ let abandon t ~pid =
 
 let reclamation_frontier _t = None
 
-let drain_all t = eject t ~pid:0
+let drain_all t = eject ~force:true t ~pid:0

@@ -15,8 +15,7 @@ let inactive = { b = max_int; e = min_int }
 
 type t = {
   max_threads : int;
-  epoch_freq : int;
-  cleanup_freq : int;
+  knobs : Knobs.t;
   ann : interval Padded.t;
   cur_epoch : int Atomic.t;
   alloc_tally : int Padded.t; (* owner-thread only *)
@@ -24,11 +23,13 @@ type t = {
   orphans : (int * int) Orphanage.t;
 }
 
-let create ?(epoch_freq = 40) ?(cleanup_freq = 64) ?slots_per_thread:_ ~max_threads () =
+let create ?epoch_freq ?cleanup_freq ?slots_per_thread ~max_threads () =
+  (match slots_per_thread with
+  | Some _ -> Obs.Scheme_metrics.on_knob_ignored om ~knob:"slots_per_thread"
+  | None -> ());
   {
     max_threads;
-    epoch_freq;
-    cleanup_freq;
+    knobs = Knobs.create ?epoch_freq ?cleanup_freq ?slots_per_thread ~scheme:name ();
     ann = Padded.create max_threads inactive;
     cur_epoch = Atomic.make 0;
     alloc_tally = Padded.create max_threads 0;
@@ -37,10 +38,13 @@ let create ?(epoch_freq = 40) ?(cleanup_freq = 64) ?slots_per_thread:_ ~max_thre
   }
 
 let max_threads t = t.max_threads
+let knobs t = t.knobs
 let current_epoch t = Atomic.get t.cur_epoch
 let advance_epoch t =
   ignore (Atomic.fetch_and_add t.cur_epoch 1);
   Obs.Metrics.incr epoch_advances ~pid:0
+
+let force_advance t = advance_epoch t
 
 let begin_critical_section t ~pid =
   let e = Atomic.get t.cur_epoch in
@@ -51,7 +55,7 @@ let end_critical_section t ~pid = Padded.set t.ann pid inactive
 let alloc_hook t ~pid =
   let tally = Padded.get t.alloc_tally pid + 1 in
   Padded.set t.alloc_tally pid tally;
-  if tally mod t.epoch_freq = 0 then advance_epoch t;
+  if tally mod Knobs.epoch_freq t.knobs = 0 then advance_epoch t;
   Atomic.get t.cur_epoch
 
 let try_acquire _t ~pid _id =
@@ -91,13 +95,18 @@ let adopt_orphans t ~safe =
 
 let eject ?(force = false) t ~pid =
   let q = t.retired.(pid) in
-  if force || Retire_queue.due q ~every:t.cleanup_freq then begin
+  if
+    force || Knobs.sync_scan t.knobs
+    || Retire_queue.due q ~every:(Knobs.cleanup_freq t.knobs)
+  then begin
     let n = t.max_threads in
     let anns = Array.init n (fun i -> Padded.get t.ann i) in
     let safe (birth, retired_at) =
       Array.for_all (fun a -> a.e < birth || a.b > retired_at) anns
     in
-    Obs.Scheme_metrics.on_eject om ~pid (Retire_queue.filter_pop q ~safe @ adopt_orphans t ~safe)
+    let max = if force then max_int else Knobs.batch_cap t.knobs in
+    Obs.Scheme_metrics.on_eject om ~pid
+      (Retire_queue.filter_pop ~max q ~safe @ adopt_orphans t ~safe)
   end
   else []
 

@@ -5,16 +5,36 @@ let confirm_is_trivial = true
 let requires_validation = false
 
 type guard = int
-type t = { max_threads : int; retired : unit Retire_queue.t array; orphans : unit Orphanage.t }
 
-let create ?epoch_freq:_ ?cleanup_freq:_ ?slots_per_thread:_ ~max_threads () =
+type t = {
+  max_threads : int;
+  knobs : Knobs.t;
+  retired : unit Retire_queue.t array;
+  orphans : unit Orphanage.t;
+}
+
+let create ?epoch_freq ?cleanup_freq ?slots_per_thread ~max_threads () =
+  (* The leaky baseline never reclaims, so every knob is ignored — but
+     a caller tuning it is confused, and an out-of-range value is a bug
+     regardless: validate uniformly and count the misuse. *)
+  List.iter
+    (fun (knob, v) ->
+      if Option.is_some v then Obs.Scheme_metrics.on_knob_ignored om ~knob)
+    [
+      ("epoch_freq", epoch_freq);
+      ("cleanup_freq", cleanup_freq);
+      ("slots_per_thread", slots_per_thread);
+    ];
   {
     max_threads;
+    knobs = Knobs.create ?epoch_freq ?cleanup_freq ?slots_per_thread ~scheme:name ();
     retired = Array.init max_threads (fun _ -> Retire_queue.create ());
     orphans = Orphanage.create ();
   }
 
 let max_threads t = t.max_threads
+let knobs t = t.knobs
+let force_advance _t = ()
 let begin_critical_section _t ~pid:_ = ()
 let end_critical_section _t ~pid:_ = ()
 let alloc_hook _t ~pid:_ = 0

@@ -12,7 +12,8 @@ type handoff = (Ident.t * Deferred.t) option
 type t = {
   max_threads : int;
   k : int;
-  cleanup_freq : int;
+  knobs : Knobs.t;
+  cleanup_floor : int; (* amortization floor: 2 * announcements *)
   slots : Ident.t Padded.t; (* posted values, (k+1) per thread *)
   handoffs : handoff Padded.t; (* one per physical slot *)
   free : int list array; (* owner only *)
@@ -20,12 +21,17 @@ type t = {
   orphans : Ident.t Orphanage.t;
 }
 
-let create ?epoch_freq:_ ?(cleanup_freq = 64) ?(slots_per_thread = 8) ~max_threads () =
-  let k = slots_per_thread in
+let create ?epoch_freq ?cleanup_freq ?slots_per_thread ~max_threads () =
+  (match epoch_freq with
+  | Some _ -> Obs.Scheme_metrics.on_knob_ignored om ~knob:"epoch_freq"
+  | None -> ());
+  let knobs = Knobs.create ?epoch_freq ?cleanup_freq ?slots_per_thread ~scheme:name () in
+  let k = Knobs.slots_per_thread knobs in
   {
     max_threads;
     k;
-    cleanup_freq = max cleanup_freq (2 * (k + 1) * max_threads);
+    knobs;
+    cleanup_floor = 2 * (k + 1) * max_threads;
     slots = Padded.create ((k + 1) * max_threads) Ident.null;
     handoffs = Padded.create ((k + 1) * max_threads) None;
     free = Array.init max_threads (fun _ -> List.init k Fun.id);
@@ -33,7 +39,12 @@ let create ?epoch_freq:_ ?(cleanup_freq = 64) ?(slots_per_thread = 8) ~max_threa
     orphans = Orphanage.create ();
   }
 
+(* See Hp.effective_cleanup_freq. *)
+let effective_cleanup_freq t = max (Knobs.cleanup_freq t.knobs) t.cleanup_floor
+
 let max_threads t = t.max_threads
+let knobs t = t.knobs
+let force_advance _t = ()
 let slot_index t ~pid local = (pid * (t.k + 1)) + local
 let begin_critical_section _t ~pid:_ = ()
 let end_critical_section _t ~pid:_ = ()
@@ -83,7 +94,10 @@ let retire t ~pid id ~birth:_ op =
    entry stays queued). *)
 let eject ?(force = false) t ~pid =
   let q = t.retired.(pid) in
-  if force || Retire_queue.due q ~every:t.cleanup_freq then begin
+  if
+    force || Knobs.sync_scan t.knobs
+    || Retire_queue.due q ~every:(effective_cleanup_freq t)
+  then begin
     let total = (t.k + 1) * t.max_threads in
     let safe = ref [] in
     let keep = ref [] in
@@ -98,7 +112,7 @@ let eject ?(force = false) t ~pid =
              end
            done
          with Exit -> ());
-        if !posted_at < 0 then safe := op :: !safe
+        if !posted_at < 0 then safe := (id, op) :: !safe
         else begin
           let i = !posted_at in
           if Padded.compare_and_set t.handoffs i None (Some entry) then begin
@@ -109,7 +123,7 @@ let eject ?(force = false) t ~pid =
               | Some (id', op') when Ident.equal id' id ->
                   (* Reclaimed our own hand-off: the guard is gone, the
                      entry is unprotected. *)
-                  safe := op' :: !safe
+                  safe := (id', op') :: !safe
               | Some other ->
                   (* A releaser already took ours and a different buck
                      landed in the slot: adopt it. *)
@@ -120,8 +134,15 @@ let eject ?(force = false) t ~pid =
           else keep := entry :: !keep
         end)
       (Orphanage.take_all t.orphans @ Retire_queue.drain_with_meta q);
+    (* Cap the released batch; entries past the cap stay unprotected
+       and go back on the queue for the next scan. *)
+    let cap = if force then max_int else Knobs.batch_cap t.knobs in
+    let out = ref [] in
+    List.iteri
+      (fun i entry -> if i < cap then out := entry :: !out else keep := entry :: !keep)
+      (List.rev !safe);
     List.iter (fun (id, op) -> Retire_queue.push q id op) (List.rev !keep);
-    Obs.Scheme_metrics.on_eject om ~pid (List.rev !safe)
+    Obs.Scheme_metrics.on_eject om ~pid (List.rev_map snd !out)
   end
   else []
 

@@ -16,20 +16,30 @@ let due t ~every =
   end
   else false
 
-let pop_prefix t ~safe =
-  let rec go acc =
-    match Queue.peek_opt t.q with
-    | Some e when safe e.meta ->
-        ignore (Queue.pop t.q);
-        go (e.op :: acc)
-    | _ -> List.rev acc
+let pop_prefix ?(max = max_int) t ~safe =
+  let rec go n acc =
+    if n >= max then List.rev acc
+    else
+      match Queue.peek_opt t.q with
+      | Some e when safe e.meta ->
+          ignore (Queue.pop t.q);
+          go (n + 1) (e.op :: acc)
+      | _ -> List.rev acc
   in
-  go []
+  go 0 []
 
-let filter_pop t ~safe =
+let filter_pop ?(max = max_int) t ~safe =
   let keep = Queue.create () in
   let out = ref [] in
-  Queue.iter (fun e -> if safe e.meta then out := e.op :: !out else Queue.push e keep) t.q;
+  let n = ref 0 in
+  Queue.iter
+    (fun e ->
+      if !n < max && safe e.meta then begin
+        out := e.op :: !out;
+        incr n
+      end
+      else Queue.push e keep)
+    t.q;
   Queue.clear t.q;
   Queue.transfer keep t.q;
   List.rev !out

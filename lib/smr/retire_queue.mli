@@ -20,14 +20,16 @@ val due : _ t -> every:int -> bool
     time it returned [true] (and resets the tally). Drives scan
     amortization. *)
 
-val pop_prefix : 'meta t -> safe:('meta -> bool) -> (Deferred.t) list
+val pop_prefix : ?max:int -> 'meta t -> safe:('meta -> bool) -> (Deferred.t) list
 (** Remove and return the longest prefix of entries (oldest first)
-    whose metadata satisfies [safe]. For queues whose metadata is
-    monotone (EBR retire epochs). *)
+    whose metadata satisfies [safe], at most [max] of them (default
+    unbounded). For queues whose metadata is monotone (EBR retire
+    epochs). *)
 
-val filter_pop : 'meta t -> safe:('meta -> bool) -> (Deferred.t) list
-(** Remove and return all entries satisfying [safe], preserving the
-    order of the remainder. *)
+val filter_pop : ?max:int -> 'meta t -> safe:('meta -> bool) -> (Deferred.t) list
+(** Remove and return up to [max] entries satisfying [safe] (oldest
+    first; default unbounded), preserving the order of the
+    remainder. *)
 
 val drain : 'meta t -> (Deferred.t) list
 (** Remove and return everything. *)

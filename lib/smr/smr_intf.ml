@@ -90,13 +90,36 @@ module type S = sig
   val create :
     ?epoch_freq:int -> ?cleanup_freq:int -> ?slots_per_thread:int -> max_threads:int -> unit -> t
   (** [create ~max_threads ()] builds an instance supporting pids
-      [0 .. max_threads-1].
+      [0 .. max_threads-1]. All knobs share the documented
+      {!Knobs} defaults and are validated uniformly: a value [<= 0]
+      raises [Invalid_argument] in every scheme, even for knobs that
+      scheme ignores (the misuse is additionally recorded as a
+      [knob_ignored] scheme counter).
       - [epoch_freq]: allocations between global epoch/era advances
-        (EBR default 10, IBR/HE default 40 — the paper's tuned values;
-        ignored by HP and Hyaline).
-      - [cleanup_freq]: retires between eject scans (default 64).
-      - [slots_per_thread]: announcement slots for HP/HE (default 8),
-        excluding the reserved slot; ignored by region schemes. *)
+        (default {!Knobs.default_epoch_freq} = 40 for every
+        epoch-clocked scheme; ignored by HP, PTB, Hyaline, Leaky).
+      - [cleanup_freq]: retires between eject scans (default
+        {!Knobs.default_cleanup_freq} = 64).
+      - [slots_per_thread]: announcement slots for HP/HE/PTB (default
+        {!Knobs.default_slots_per_thread} = 8), excluding the reserved
+        slot; ignored by region schemes.
+
+      The instance's knobs stay mutable after [create] — see
+      {!knobs}. *)
+
+  val knobs : t -> Knobs.t
+  (** The instance's live knob block. Scheme code re-reads knobs
+      through {!Knobs} accessors on every decision (never capturing
+      values), so {!Knobs} setters retune a running instance; the
+      {!Knobs.slots_per_thread} value is structural and fixed at
+      [create]. *)
+
+  val force_advance : t -> unit
+  (** Advance the scheme's global epoch/era clock immediately (EBR,
+      IBR, HE); a no-op for schemes without a clock. The controller's
+      memory-pressure lever: advancing the clock lets entries retired
+      under old epochs become ejectable without waiting out
+      [epoch_freq] allocations. Safe from any thread. *)
 
   val max_threads : t -> int
 

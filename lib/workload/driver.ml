@@ -22,6 +22,7 @@ type spec = {
   buckets : int option; (* hash table only *)
   slots : int option; (* HP/HE announcement slots per thread *)
   epoch_freq : int option; (* EBR/IBR/HE epoch advance frequency *)
+  adapt : bool; (* run the adaptive reclamation controller *)
 }
 
 let default_spec =
@@ -37,6 +38,7 @@ let default_spec =
     buckets = None;
     slots = None;
     epoch_freq = None;
+    adapt = false;
   }
 
 type result = {
@@ -54,6 +56,10 @@ type result = {
   watchdog_verdicts : string list;
       (* Stuck verdicts the reclamation watchdog raised during the run
          (empty when telemetry is disabled or reclamation progressed). *)
+  adapt_decisions : string list;
+      (* The adaptive controller's decision log (empty when
+         [spec.adapt] is false): one line per sampler tick on which the
+         controller moved a knob. *)
 }
 
 let pp_result ppf r =
@@ -66,15 +72,31 @@ let pp_result ppf r =
     (match r.snap_slow_share with
     | Some s when s > 0.0005 -> Printf.sprintf "  slow-snap=%.1f%%" (100. *. s)
     | _ -> "");
-  match r.watchdog_verdicts with
+  (match r.watchdog_verdicts with
   | [] -> ()
-  | vs -> Format.fprintf ppf "  WATCHDOG=%d" (List.length vs)
+  | vs -> Format.fprintf ppf "  WATCHDOG=%d" (List.length vs));
+  match r.adapt_decisions with
+  | [] -> ()
+  | ds -> Format.fprintf ppf "  ADAPT=%d" (List.length ds)
 
 (* Time-series gauges published by the sampler thread; global because a
    process runs one driver at a time. *)
 let live_gauge = Obs.Metrics.gauge "driver.live_blocks"
 let backlog_gauge = Obs.Metrics.gauge "driver.retired_backlog"
 let ops_gauge = Obs.Metrics.gauge "driver.ops_per_s"
+
+(* p99 retire→free latency across every scheme's reclaim_latency
+   histogram (one driver runs one scheme per process, so at most one
+   accumulates). [None] while telemetry is off or nothing was
+   sampled — the controller treats that as "SLO met". *)
+let reclaim_p99 () =
+  let acc = Array.make Obs.Histo.buckets 0 in
+  List.iter
+    (fun h ->
+      if String.ends_with ~suffix:".reclaim_latency" (Obs.Histo.name h) then
+        Array.iteri (fun i c -> acc.(i) <- acc.(i) + c) (Obs.Histo.merged h))
+    (Obs.Histo.dump ());
+  Obs.Histo.percentile_of_counts acc 99.0
 
 module Run (D : Ds.Set_intf.S) = struct
   let prefill d spec =
@@ -144,11 +166,19 @@ module Run (D : Ds.Set_intf.S) = struct
     let deadline = t0 +. spec.duration in
     let last_ops = ref 0 in
     let last_t = ref t0 in
+    (* The adaptive controller rides the sampler: one controller tick
+       per sample, fed the backlog, latency-p99, and watchdog signals.
+       No [on_escalate] here — benchmark workers are healthy by
+       construction, so escalation is only logged; the adaptivity
+       experiment wires the real abandon path. *)
+    let ctl = if spec.adapt then Some (Adapt.Controller.create (D.control d)) else None in
     let rec sample () =
       let now = Unix.gettimeofday () in
       if now < deadline then begin
         let live = D.live_objects d in
         samples := float_of_int live :: !samples;
+        let verdict = ref None in
+        let checked = ref false in
         (* Telemetry side of the sampler: per-second throughput and
            backlog gauges, a Sample trace event, and a watchdog poke.
            Gated as a block so the disabled path adds nothing beyond
@@ -173,8 +203,20 @@ module Run (D : Ds.Set_intf.S) = struct
                  live;
                  backlog;
                });
-          ignore (D.watchdog_check d)
+          verdict := D.watchdog_check d;
+          checked := true
         end;
+        (match ctl with
+        | None -> ()
+        | Some c ->
+            if not !checked then verdict := D.watchdog_check d;
+            ignore
+              (Adapt.Controller.observe c
+                 {
+                   Adapt.Controller.backlog = D.retired_backlog d;
+                   p99 = reclaim_p99 ();
+                   stalled = !verdict <> None;
+                 }));
         Unix.sleepf (min 0.01 (deadline -. now));
         sample ()
       end
@@ -211,5 +253,7 @@ module Run (D : Ds.Set_intf.S) = struct
       worker_failures = Atomic.get failures;
       snap_slow_share;
       watchdog_verdicts = Obs.Verdicts.drain ();
+      adapt_decisions =
+        (match ctl with None -> [] | Some c -> Adapt.Controller.decisions c);
     }
 end

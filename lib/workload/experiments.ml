@@ -93,7 +93,8 @@ let run_set_instance (module D : Ds.Set_intf.S) spec =
   let module R = Driver.Run (D) in
   R.run ~spec ()
 
-let run_set_exp ?(threads = [ 1; 2; 4 ]) ?(duration = 0.4) ?(schemes = []) ?(scale = 1) e =
+let run_set_exp ?(threads = [ 1; 2; 4 ]) ?(duration = 0.4) ?(schemes = []) ?(scale = 1)
+    ?(adapt = false) e =
   Format.printf "@.== %s ==@.expected: %s@.@." e.title e.expected;
   let instances =
     match schemes with
@@ -106,7 +107,7 @@ let run_set_exp ?(threads = [ 1; 2; 4 ]) ?(duration = 0.4) ?(schemes = []) ?(sca
     (fun p ->
       List.iter
         (fun (module D : Ds.Set_intf.S) ->
-          let spec = e.mix { Driver.default_spec with threads = p; duration } in
+          let spec = e.mix { Driver.default_spec with threads = p; duration; adapt } in
           (* [scale] > 1 shrinks the structure for smoke runs. *)
           let spec =
             {
@@ -118,7 +119,10 @@ let run_set_exp ?(threads = [ 1; 2; 4 ]) ?(duration = 0.4) ?(schemes = []) ?(sca
           in
           let r = run_set_instance (module D) spec in
           results := r :: !results;
-          Format.printf "%a@." Driver.pp_result r)
+          Format.printf "%a@." Driver.pp_result r;
+          List.iter
+            (fun d -> Format.printf "    [adapt] %s@." d)
+            r.Driver.adapt_decisions)
         instances;
       Format.printf "@.")
     threads;
@@ -409,6 +413,163 @@ let run_robustness ?(duration = 1.0) ?(schemes = []) ?(seed = 42) ?out () =
       close_out oc;
       Format.printf "curves written to %s@.@." path);
   results
+
+(* ---------------- adaptivity (controller vs fixed knobs) ---------------- *)
+
+(* The tentpole claim of the adaptive controller, machine-checked on
+   the PR 1 stalled-domain fault plan: a victim enters a critical
+   section and stalls forever, pinning EBR's epoch frontier. With fixed
+   knobs the healthy domain's garbage grows without bound — every scan
+   is futile and no human calls [abandon]. With the controller on, the
+   watchdog's Stuck verdicts feed the stall-response policy, which
+   backs off the futile scans and, after the grace period, escalates to
+   the abandon/orphanage-adoption path; the backlog then drains and
+   stays bounded.
+
+   Unlike [run_robustness], this is a {e single-domain} deterministic
+   replay — a scripted churn loop with no Domain.spawn, no wall clock,
+   and no randomness — so the controller's decision log is a pure
+   function of the iteration count and replays bit-identically
+   (test/test_adapt.ml runs it twice and pins the log). *)
+
+type adaptivity_result = {
+  ad_scheme : string;
+  ad_adapt : bool;
+  ad_iters : int;
+  ad_peak_backlog : int; (* max retired-but-unreclaimed entries seen *)
+  ad_end_backlog : int; (* backlog after the last iteration *)
+  ad_escalated_at : int option; (* iteration of the abandon escalation *)
+  ad_leaked : int; (* live blocks after quiesce; 0 = leak-free *)
+  ad_decisions : string list;
+}
+
+let pp_adaptivity_result ppf r =
+  Format.fprintf ppf
+    "%-8s adapt=%-5b iters=%-6d peak_backlog=%-6d end_backlog=%-6d escalate=%s leaked=%d \
+     decisions=%d"
+    r.ad_scheme r.ad_adapt r.ad_iters r.ad_peak_backlog r.ad_end_backlog
+    (match r.ad_escalated_at with Some i -> Printf.sprintf "@%d" i | None -> "never")
+    r.ad_leaked (List.length r.ad_decisions)
+
+(* One deterministic run: [iters] alloc/retire/eject churn iterations
+   on the healthy domain (pid 1) while pid 0 stalls inside its first
+   critical section; a controller tick every [check_every] iterations.
+   Exposed with these knobs so the tests and the CI smoke can pin exact
+   escalation points. *)
+let run_adaptivity_one ?(iters = 2000) ?(check_every = 32) ?config ~adapt
+    (module S : Smr.Smr_intf.S) =
+  let plan =
+    Fault.Fault_plan.create
+      [ { site = On_begin_cs; pid = Some 0; at = 1; action = Stall 0 } ]
+  in
+  let module FS =
+    Fault.Faulty_smr.Make
+      (S)
+      (struct
+        let plan = plan
+      end)
+  in
+  let module Ar = Acquire_retire.Make (FS) in
+  (* epoch_freq/cleanup_freq 1: the scheme is maximally eager, so any
+     unbounded growth is the stall's fault, not the tuning's. *)
+  let ar = Ar.create ~epoch_freq:1 ~cleanup_freq:1 ~max_threads:2 () in
+  (* The victim enters and never leaves: the plan stalls it at its
+     first section entry, freezing its announcement. *)
+  Ar.begin_critical_section ar ~pid:0;
+  let wd = Ar.watchdog ~threshold:3 ~slack:64 () in
+  let escalated_at = ref None in
+  let iter = ref 0 in
+  let ctl =
+    if adapt then
+      Some
+        (Adapt.Controller.create ?config
+           ~on_escalate:(fun () ->
+             escalated_at := Some !iter;
+             Ar.abandon ar ~pid:0)
+           [ Ar.handle ar ])
+    else None
+  in
+  let peak = ref 0 in
+  for i = 1 to iters do
+    iter := i;
+    Ar.begin_critical_section ar ~pid:1;
+    let m = Ar.alloc ar ~pid:1 i in
+    Ar.retire_free ar ~pid:1 m;
+    Ar.end_critical_section ar ~pid:1;
+    List.iter (fun op -> op 1) (Ar.eject ar ~pid:1);
+    peak := max !peak (Ar.total_pending ar);
+    if i mod check_every = 0 then
+      match ctl with
+      | None -> ()
+      | Some c ->
+          let stalled =
+            match Ar.watchdog_check ar wd with Ar.Stuck _ -> true | Ar.Progressing -> false
+          in
+          ignore
+            (Adapt.Controller.observe c
+               {
+                 Adapt.Controller.backlog = Ar.total_pending ar;
+                 p99 = None;
+                 stalled;
+               })
+  done;
+  let end_backlog = Ar.total_pending ar in
+  (* Teardown: reap the victim if the controller never did, then apply
+     everything — the run must be leak-free either way. *)
+  if !escalated_at = None then Ar.abandon ar ~pid:0;
+  Ar.drain ar ~pid:1;
+  Ar.quiesce ar;
+  {
+    ad_scheme = S.name;
+    ad_adapt = adapt;
+    ad_iters = iters;
+    ad_peak_backlog = !peak;
+    ad_end_backlog = end_backlog;
+    ad_escalated_at = !escalated_at;
+    ad_leaked = Simheap.live (Ar.heap ar);
+    ad_decisions = (match ctl with None -> [] | Some c -> Adapt.Controller.decisions c);
+  }
+
+(* Controller-on vs fixed-knob EBR under the same stalled-domain plan.
+   Returns [(ok, results)]: [ok] iff the controller kept the peak
+   backlog at or under [bound] while the fixed-knob run ended above it
+   — the CI smoke's assertion. *)
+let run_adaptivity ?(iters = 2000) ?(bound = 512) ?out () =
+  Format.printf
+    "@.== Adaptivity: stalled domain, controller vs fixed knobs (EBR) ==@.expected: \
+     fixed-knob EBR backlog grows without bound behind the pinned frontier; the \
+     controller backs off scans, escalates to abandon after the grace period, and \
+     keeps the backlog under %d@.@."
+    bound;
+  let on = run_adaptivity_one ~iters ~adapt:true (module Smr.Ebr : Smr.Smr_intf.S) in
+  let off = run_adaptivity_one ~iters ~adapt:false (module Smr.Ebr : Smr.Smr_intf.S) in
+  let results = [ on; off ] in
+  List.iter (fun r -> Format.printf "%a@." pp_adaptivity_result r) results;
+  Format.printf "@.controller decisions:@.";
+  List.iter (fun d -> Format.printf "    [adapt] %s@." d) on.ad_decisions;
+  let ok =
+    on.ad_peak_backlog <= bound && off.ad_end_backlog > bound
+    && on.ad_leaked = 0 && off.ad_leaked = 0
+  in
+  Format.printf "@.bound=%d controller-on peak=%d (%s) fixed-knob end=%d (%s)@.@." bound
+    on.ad_peak_backlog
+    (if on.ad_peak_backlog <= bound then "bounded" else "VIOLATED")
+    off.ad_end_backlog
+    (if off.ad_end_backlog > bound then "unbounded as expected" else "UNEXPECTEDLY BOUNDED");
+  (match out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      let ppf = Format.formatter_of_out_channel oc in
+      Format.fprintf ppf "# adaptivity: stalled domain at first begin_cs, EBR, iters=%d bound=%d@."
+        iters bound;
+      List.iter (fun r -> Format.fprintf ppf "%a@." pp_adaptivity_result r) results;
+      Format.fprintf ppf "# controller decision log@.";
+      List.iter (fun d -> Format.fprintf ppf "%s@." d) on.ad_decisions;
+      Format.pp_print_flush ppf ();
+      close_out oc;
+      Format.printf "results written to %s@.@." path);
+  (ok, results)
 
 (* Extension table: Treiber stack push/pop across every scheme — not a
    paper figure, but the smallest end-to-end consumer of the framework

@@ -1,0 +1,18 @@
+(* rc-lint fixture: a scheme capturing its tuning knobs as record
+   fields — constants the adaptive controller cannot move (R7 fires on
+   each knob-named field; [slots_per_thread] is structural and exempt).
+   Never compiled. *)
+
+type t = {
+  epoch_freq : int;
+  mutable cleanup_freq : int;
+  slots_per_thread : int;
+  mutable count : int;
+}
+
+let create ~epoch_freq ~cleanup_freq ~slots_per_thread () =
+  { epoch_freq; cleanup_freq; slots_per_thread; count = 0 }
+
+let due t =
+  t.count <- t.count + 1;
+  t.count mod t.cleanup_freq = 0 || t.count mod t.epoch_freq = 0

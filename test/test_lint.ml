@@ -25,7 +25,8 @@ let test_bad_files () =
   check_rules "ds/bad_r3_retire_loop_manual.ml" [ "R3" ];
   check_rules "bad_r4_obj_magic.ml" [ "R4" ];
   check_rules "smr/bad_r5_scheme.ml" [ "R5" ];
-  check_rules "obs/bad_r6_counter.ml" [ "R6"; "R6" ]
+  check_rules "obs/bad_r6_counter.ml" [ "R6"; "R6" ];
+  check_rules "smr/bad_r7_knobs.ml" [ "R7"; "R7" ]
 
 let test_clean_files () =
   check_rules "clean.ml" [];
@@ -43,7 +44,7 @@ let test_suppression_site_granular () =
 
 let test_corpus_total () =
   let fs = Lint.lint_paths [ "lint_fixtures" ] in
-  Alcotest.(check int) "total corpus findings" 13 (List.length fs)
+  Alcotest.(check int) "total corpus findings" 15 (List.length fs)
 
 let test_allowlist_gates_r4 () =
   let src = "let key x = Obj.repr x\n" in

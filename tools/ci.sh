@@ -27,6 +27,12 @@ fi
 echo "== robustness smoke (EBR, 0.2s) =="
 dune exec bin/cdrc_bench.exe -- robustness --duration 0.2 --schemes EBR --out ""
 
+echo "== adaptivity smoke (controller vs fixed knobs) =="
+# Deterministic stalled-domain replay (DESIGN.md §10): exits 1 unless
+# the controller-on run keeps EBR's backlog under the bound while the
+# fixed-knob run exceeds it — the graceful-degradation contract.
+dune exec bin/cdrc_bench.exe -- adaptivity --iters 2000 --bound 512 --out ""
+
 echo "== telemetry smoke (fig13a, scaled down) =="
 # Short run with telemetry on; --check fails unless the exported trace
 # is valid JSONL and the experiment's required metrics are non-zero.
