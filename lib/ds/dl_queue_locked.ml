@@ -236,6 +236,10 @@ module Make () = struct
   let flush c = drain c
   let live_objects t = Simheap.live t.heap
 
+  (* Reclamation is immediate once the per-ctx drain runs; nothing is
+     parked cross-thread, so the backlog a sampler could observe is 0. *)
+  let retired_backlog _ = 0
+
   let teardown t =
     let c = { t; pending = Queue.create (); draining = false } in
     clear_strong_cell c t.head;

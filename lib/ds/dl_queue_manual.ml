@@ -166,6 +166,7 @@ module Make () = struct
 
   let flush c = scan c
   let live_objects t = Simheap.live t.heap
+  let retired_backlog t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.retired
 
   let teardown t =
     let rec free_chain = function

@@ -110,6 +110,7 @@ module Make (R : Cdrc.Intf.S) = struct
 
   let flush c = R.flush c.th
   let live_objects t = R.live_objects t.rt
+  let retired_backlog t = R.retired_backlog t.rt
 
   let teardown t =
     let th = R.thread t.rt 0 in

@@ -23,5 +23,10 @@ module type S = sig
 
   val flush : ctx -> unit
   val live_objects : t -> int
+
+  val retired_backlog : t -> int
+  (** Entries retired but not yet reclaimed, summed over all threads;
+      [0] for implementations that free eagerly (the locked queue). *)
+
   val teardown : t -> unit
 end

@@ -116,6 +116,7 @@ module Make (S : Smr.Smr_intf.S) = struct
     go 0 (Atomic.get t.top)
 
   let live_objects t = Simheap.live (Ar.heap t.ar)
+  let retired_backlog t = Ar.total_pending t.ar
 
   let teardown t =
     let rec go = function

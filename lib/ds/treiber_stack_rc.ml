@@ -88,6 +88,7 @@ module Make (R : Cdrc.Intf.S) = struct
         go 0 (R.Asp.get_snapshot th t.top))
 
   let live_objects t = R.live_objects t.rt
+  let retired_backlog t = R.retired_backlog t.rt
 
   let teardown t =
     let th = R.thread t.rt 0 in

@@ -1,0 +1,44 @@
+(** The per-scheme instrumentation bundle (DESIGN.md §7).
+
+    Every SMR scheme binds one of these at module-initialization time
+    ([let om = Obs.Scheme_metrics.v name]) and calls the [on_*] hooks
+    from its protocol entry points. All hooks are one atomic load when
+    telemetry is disabled; [on_retire] additionally guarantees the
+    disabled path allocates nothing per retire. *)
+
+type t
+
+val v : string -> t
+(** [v scheme] binds the counter/histogram/event bundle under the
+    [smr.<scheme>.] metric prefix. Registration is idempotent, so
+    functor re-instantiation over one scheme shares one set of cells. *)
+
+val on_acquire : t -> pid:int -> unit
+(** One protected acquisition (announce/epoch-entry). Counter exact;
+    trace event sampled 1-in-32. *)
+
+val on_slot_exhausted : t -> pid:int -> unit
+(** An acquire found no free announcement slot (HP/HE fallback). *)
+
+val on_knob_ignored : t -> knob:string -> unit
+(** A tuning knob was passed to [create] that this scheme never reads;
+    recorded so callers find out from [stats] instead of silence. *)
+
+val on_confirm_retry : t -> pid:int -> unit
+(** An announce→re-validate round failed and retried. *)
+
+val on_retire : t -> pid:int -> (int -> unit) -> int -> unit
+(** [on_retire t ~pid op] counts the retirement, bumps the operation
+    tick clock, and returns the deferred operation to store: [op]
+    itself when disabled or unsampled, or a wrapper that records the
+    tick-delta reclamation latency into [smr.<scheme>.reclaim_latency]
+    before running [op]. Wrapping never changes reclamation order or
+    effects. *)
+
+val on_eject : t -> pid:int -> 'a list -> 'a list
+(** Call at every eject scan with the batch about to be returned;
+    counts the scan, the batch size (histogram + counter) and passes
+    the batch through unchanged. *)
+
+val on_abandon : t -> pid:int -> unit
+(** A stalled thread's state was reaped on its behalf. *)

@@ -1,0 +1,19 @@
+(** The telemetry clock: operation ticks, not wall time (DESIGN.md §7).
+
+    One tick = one retirement anywhere in the process ({!bump} is
+    called by [Scheme_metrics.on_retire]). A reclamation latency of 500
+    ticks reads "this entry survived 500 subsequent retires" — the
+    paper's bounded-garbage quantity, reproducible under a fixed seed.
+
+    Sharded into plain single-writer cells: {!bump} is one unfenced
+    store by the retiring pid; {!now} sums the cells and may be stale
+    by the few in-flight bumps cross-domain, while single-domain reads
+    are exact. *)
+
+val bump : pid:int -> unit
+(** Advance the clock by one tick on [pid]'s shard. *)
+
+val now : unit -> int
+(** Sum over all shards. *)
+
+val reset : unit -> unit

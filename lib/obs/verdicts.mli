@@ -1,0 +1,16 @@
+(** Bounded sink for watchdog Stuck verdicts (DESIGN.md §7).
+
+    Watchdogs {!record} verdict strings as they fire; the workload
+    driver {!drain}s them into [result.watchdog_verdicts] after each
+    run. The sink keeps at most 64 verdicts — a wedged reader thread
+    can trip the watchdog on every check for the rest of a long run —
+    and reports the overflow count as a final synthetic entry. *)
+
+val record : string -> unit
+
+val drain : unit -> string list
+(** Verdicts recorded since the last drain, oldest first; resets the
+    sink. A trailing ["(+N more verdicts dropped)"] entry marks
+    overflow. *)
+
+val reset : unit -> unit

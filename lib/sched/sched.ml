@@ -97,6 +97,68 @@ module Traced : ATOMIC = struct
     old
 end
 
+(** Counting shim: the production primitives ([Stdlib.Atomic], no
+    behavioral change) plus one plain counter per operation kind. This
+    is the third instantiation of the PR 3 functor boundary — the perf
+    profiler ([Workload.Perf_runner]) drives the functorized cores over
+    it with pinned single-domain scripts, so "atomics per operation" is
+    an exact, deterministic number rather than a sampled estimate.
+
+    Off the production path by construction: production code keeps
+    instantiating {!Passthrough}; nothing here runs unless a profiling
+    script instantiates the cores over [Counting]. The counters are
+    plain (unsynchronized) refs — profiling scripts are single-domain,
+    like the deterministic telemetry tests. [make] is deliberately not
+    counted: allocation is not a protocol step. *)
+module Counting = struct
+  type 'a t = 'a Atomic.t
+
+  type counts = {
+    gets : int;
+    sets : int;
+    exchanges : int;
+    cas : int;  (** CAS attempts, successful or not *)
+    cas_failures : int;  (** the failed subset of [cas] *)
+    faa : int;
+  }
+
+  let zero = { gets = 0; sets = 0; exchanges = 0; cas = 0; cas_failures = 0; faa = 0 }
+  let state = ref zero
+  let reset () = state := zero
+  let snapshot () = !state
+
+  (* Failed CAS attempts are already inside [cas]. *)
+  let total c = c.gets + c.sets + c.exchanges + c.cas + c.faa
+
+  let make = Atomic.make
+
+  let get r =
+    state := { !state with gets = !state.gets + 1 };
+    Atomic.get r
+
+  let set r v =
+    state := { !state with sets = !state.sets + 1 };
+    Atomic.set r v
+
+  let exchange r v =
+    state := { !state with exchanges = !state.exchanges + 1 };
+    Atomic.exchange r v
+
+  let compare_and_set r old nu =
+    let ok = Atomic.compare_and_set r old nu in
+    state :=
+      {
+        !state with
+        cas = !state.cas + 1;
+        cas_failures = (!state.cas_failures + if ok then 0 else 1);
+      };
+    ok
+
+  let fetch_and_add r n =
+    state := { !state with faa = !state.faa + 1 };
+    Atomic.fetch_and_add r n
+end
+
 (* ------------------------------------------------------------------ *)
 (* Scenarios and single-schedule execution *)
 

@@ -26,6 +26,31 @@ module Traced : ATOMIC
     Usable only under a controller (outside one it degrades to plain
     sequential execution). *)
 
+(** The profiling shim: real atomics plus exact per-operation-kind
+    counters (DESIGN.md §11). Single-domain use only (plain counters);
+    production code never instantiates it — the perf profiler drives
+    pinned scripts of the functorized cores over it to report
+    deterministic atomics-per-operation costs. *)
+module Counting : sig
+  include ATOMIC with type 'a t = 'a Atomic.t
+
+  type counts = {
+    gets : int;
+    sets : int;
+    exchanges : int;
+    cas : int;  (** CAS attempts, successful or not *)
+    cas_failures : int;  (** the failed subset of [cas] *)
+    faa : int;
+  }
+
+  val reset : unit -> unit
+  val snapshot : unit -> counts
+
+  val total : counts -> int
+  (** All counted operations; [cas_failures] is a subset of [cas] and
+      is not re-added. [make] is never counted. *)
+end
+
 val yield : unit -> unit
 (** Explicit scheduling point. No-op outside a controller; under one,
     hands control to the scheduler. Use to interleave code that does

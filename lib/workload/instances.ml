@@ -93,6 +93,10 @@ module type STACK = sig
   val flush : ctx -> unit
   val size : t -> int
   val live_objects : t -> int
+
+  val retired_backlog : t -> int
+  (** Entries retired but not yet reclaimed, as in {!Ds.Set_intf.S}. *)
+
   val teardown : t -> unit
 end
 

@@ -1,0 +1,338 @@
+(** The pinned perf-trajectory matrix behind [bench perf] and
+    `tools/bench_check` (DESIGN.md §11).
+
+    One run measures every (scheme × structure × thread-count) cell of
+    a fixed matrix — all Treiber stacks, all doubly-linked queues and
+    all hash-table sets — with full telemetry on, and assembles an
+    {!Obs.Perf.summary}: throughput, retire→free latency and eject
+    batch-size quantiles out of the {!Obs.Histo} rings, peak live
+    blocks and peak retired backlog sampled by the coordinator, plus
+    the deterministic atomic-op profiles of the three lock-free cores
+    instantiated over {!Sched.Counting}.
+
+    The harness here is deliberately smaller than {!Driver}: cells are
+    short (fractions of a second) and uniform across structure kinds,
+    so one probe record covers stacks, queues and sets. Telemetry is
+    reset between cells, which is what makes per-cell histogram
+    attribution correct — every [smr.*] histogram alive after a cell
+    belongs to that cell's scheme. *)
+
+let default_threads = [ 1; 2; 4 ]
+let default_duration = 0.2
+let default_scale = 4096
+
+let git_sha () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let sha = try String.trim (input_line ic) with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if sha = "" then "unknown" else sha
+  with _ -> "unknown"
+
+(* Merge every histogram whose name ends in [suffix] (e.g. all
+   [smr.<scheme>.reclaim_latency] rings — an RC cell populates its
+   underlying scheme's) and take quantiles of the merged counts. *)
+let quantiles_of_suffix suffix =
+  let acc = Array.make Obs.Histo.buckets 0 in
+  List.iter
+    (fun h ->
+      if String.ends_with ~suffix (Obs.Histo.name h) then
+        Array.iteri (fun i c -> acc.(i) <- acc.(i) + c) (Obs.Histo.merged h))
+    (Obs.Histo.dump ());
+  Obs.Perf.quantiles_of_counts acc
+
+(* What [measure] needs to know about a structure: how a worker loops,
+   and how the coordinator observes memory. [p_finish] tears down and
+   returns the block count left live — the leak figure. *)
+type probe = {
+  p_worker : int -> (unit -> bool) -> int;
+  p_live : unit -> int;
+  p_backlog : unit -> int;
+  p_finish : unit -> int;
+}
+
+let measure ~scheme ~structure ~threads ~duration (probe : probe) =
+  Obs.Report.reset_all ();
+  Obs.Metrics.set_enabled true;
+  (* Reclaim-latency sampling rides [Trace.should_sample]. *)
+  Obs.Trace.set_enabled true;
+  let stop = Atomic.make false in
+  let running () = not (Atomic.get stop) in
+  let ops = Array.make threads 0 in
+  let domains =
+    List.init threads (fun i -> Domain.spawn (fun () -> ops.(i) <- probe.p_worker (i + 1) running))
+  in
+  let peak_live = ref 0 in
+  let peak_backlog = ref 0 in
+  let observe () =
+    peak_live := max !peak_live (probe.p_live ());
+    peak_backlog := max !peak_backlog (probe.p_backlog ())
+  in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. duration in
+  let rec sample () =
+    let now = Unix.gettimeofday () in
+    if now < deadline then begin
+      observe ();
+      Unix.sleepf (min 0.002 (deadline -. now));
+      sample ()
+    end
+  in
+  sample ();
+  Atomic.set stop true;
+  List.iter Domain.join domains;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  observe ();
+  let leaked = probe.p_finish () in
+  let total = Array.fold_left ( + ) 0 ops in
+  let reclaim = quantiles_of_suffix ".reclaim_latency" in
+  let eject = quantiles_of_suffix ".eject.batch_size" in
+  Obs.Metrics.set_enabled false;
+  Obs.Trace.set_enabled false;
+  {
+    Obs.Perf.c_scheme = scheme;
+    c_structure = structure;
+    c_threads = threads;
+    c_ops = total;
+    c_mops = Repro_util.Stats.throughput_mops ~ops:total ~seconds:elapsed;
+    c_reclaim = reclaim;
+    c_eject_batch = eject;
+    c_peak_live = !peak_live;
+    c_peak_backlog = !peak_backlog;
+    c_leaked = leaked;
+  }
+
+(* Workers batch 64 operations between stop-flag checks, like
+   [Driver]. Worker exceptions end that worker's run with the ops it
+   completed — cells measure throughput, not safety (the fault and
+   lincheck harnesses own that). *)
+
+let stack_cell ~threads ~duration ~scale (module St : Instances.STACK) =
+  let s = St.create ~max_threads:(threads + 1) () in
+  let c0 = St.ctx s 0 in
+  for i = 1 to scale / 2 do
+    St.push c0 i
+  done;
+  St.flush c0;
+  let probe =
+    {
+      p_worker =
+        (fun pid running ->
+          let c = St.ctx s pid in
+          let rng = Repro_util.Rng.create ~seed:(7919 * pid) in
+          let n = ref 0 in
+          (try
+             while running () do
+               for _ = 1 to 64 do
+                 if Repro_util.Rng.bool rng then St.push c !n else ignore (St.pop c)
+               done;
+               n := !n + 64
+             done;
+             St.flush c
+           with _ -> ());
+          !n);
+      p_live = (fun () -> St.live_objects s);
+      p_backlog = (fun () -> St.retired_backlog s);
+      p_finish =
+        (fun () ->
+          St.teardown s;
+          St.live_objects s);
+    }
+  in
+  measure ~scheme:St.name ~structure:"stack" ~threads ~duration probe
+
+let queue_cell ~threads ~duration ~scale (module Q : Ds.Queue_intf.S) =
+  let q = Q.create ~max_threads:(threads + 1) () in
+  let c0 = Q.ctx q 0 in
+  for i = 1 to max threads (scale / 64) do
+    Q.enqueue c0 i
+  done;
+  Q.flush c0;
+  let probe =
+    {
+      p_worker =
+        (fun pid running ->
+          let c = Q.ctx q pid in
+          let n = ref 0 in
+          (try
+             while running () do
+               for _ = 1 to 32 do
+                 (match Q.dequeue c with Some v -> Q.enqueue c v | None -> ());
+                 incr n;
+                 incr n
+               done
+             done;
+             Q.flush c
+           with _ -> ());
+          !n);
+      p_live = (fun () -> Q.live_objects q);
+      p_backlog = (fun () -> Q.retired_backlog q);
+      p_finish =
+        (fun () ->
+          Q.teardown q;
+          Q.live_objects q);
+    }
+  in
+  measure ~scheme:Q.name ~structure:"queue" ~threads ~duration probe
+
+let hash_cell ~threads ~duration ~scale (module D : Ds.Set_intf.S) =
+  let d =
+    D.create ~buckets:(max 64 (scale / 8)) ~max_threads:(threads + 1) ()
+  in
+  let c0 = D.ctx d 0 in
+  let rng0 = Repro_util.Rng.create ~seed:42 in
+  let filled = ref 0 in
+  while !filled < scale / 2 do
+    if D.insert c0 (Repro_util.Rng.int rng0 scale) then incr filled
+  done;
+  D.flush c0;
+  let probe =
+    {
+      p_worker =
+        (fun pid running ->
+          let c = D.ctx d pid in
+          let rng = Repro_util.Rng.create ~seed:(7919 * pid) in
+          let n = ref 0 in
+          (try
+             while running () do
+               for _ = 1 to 64 do
+                 let r = Repro_util.Rng.int rng 100 in
+                 let key = Repro_util.Rng.int rng scale in
+                 (* 50% updates keep the retire pipeline busy so the
+                    latency histograms have substance at smoke scale. *)
+                 if r < 25 then ignore (D.insert c key)
+                 else if r < 50 then ignore (D.remove c key)
+                 else ignore (D.contains c key)
+               done;
+               n := !n + 64
+             done;
+             D.flush c
+           with _ -> ());
+          !n);
+      p_live = (fun () -> D.live_objects d);
+      p_backlog = (fun () -> D.retired_backlog d);
+      p_finish =
+        (fun () ->
+          D.teardown d;
+          D.live_objects d);
+    }
+  in
+  measure ~scheme:D.name ~structure:"hash" ~threads ~duration probe
+
+(* ---------------- atomic-op profiles ---------------- *)
+
+(* The three schedule-explored cores, re-instantiated over the
+   counting shim. Counts are exact and deterministic: each script is
+   single-domain, contention-free, and pinned so its per-op cost is a
+   protocol invariant, not a measurement. *)
+module C = Sched.Counting
+module Sticky_c = Sticky.Sticky_counter_f.Make (C)
+module Slot_c = Acquire_retire.Slot_protocol.Make (C)
+module Cell_c = Cdrc.Rc_cell.Make (C)
+
+let profile_ops = 1000
+
+let profile ~core ~op body : Obs.Perf.atomic_profile =
+  C.reset ();
+  for _ = 1 to profile_ops do
+    body ()
+  done;
+  let c = C.snapshot () in
+  {
+    Obs.Perf.a_core = core;
+    a_op = op;
+    a_ops = profile_ops;
+    a_gets = c.C.gets;
+    a_sets = c.C.sets;
+    a_exchanges = c.C.exchanges;
+    a_cas = c.C.cas;
+    a_cas_failures = c.C.cas_failures;
+    a_faa = c.C.faa;
+  }
+
+let atomic_profiles () =
+  let sticky = Sticky_c.create 1 in
+  let slots = Slot_c.create ~slots_per_thread:2 ~max_threads:1 () in
+  let shared = C.make 7 in
+  let cell = Cell_c.make 0 in
+  [
+    (* Revive-free increment + non-final decrement: the refcount hot
+       path. 2 FAA/op. *)
+    profile ~core:"sticky" ~op:"inc_dec" (fun () ->
+        ignore (Sticky_c.increment_if_not_zero sticky);
+        ignore (Sticky_c.decrement sticky));
+    (* Linearizable read of a live counter. 1 get/op. *)
+    profile ~core:"sticky" ~op:"load" (fun () -> ignore (Sticky_c.load sticky));
+    (* Uncontended death: final decrement announces with one CAS. *)
+    profile ~core:"sticky" ~op:"death" (fun () ->
+        let t = Sticky_c.create 1 in
+        ignore (Sticky_c.decrement t));
+    (* Announce→confirm→release on an unchanging location: the
+       hazard-pointer read path. 3 gets (pre-read, settle re-read,
+       confirm) + 2 sets (announce, release) per op — the [read]
+       closure is itself a counted get. *)
+    profile ~core:"slot" ~op:"protect_release" (fun () ->
+        let _, g = Slot_c.protect_read slots ~pid:0 ~read:(fun () -> C.get shared) in
+        Slot_c.release slots ~pid:0 g);
+    (* Retire one identity and eject it: the scan reads every slot. *)
+    profile ~core:"slot" ~op:"retire_eject" (fun () ->
+        Slot_c.retire slots ~pid:0 1 (fun () -> ());
+        ignore (Slot_c.eject slots ~pid:0));
+    (* Fig 9 weak upgrade + matching drop on a live control block. *)
+    profile ~core:"rc_cell" ~op:"upgrade_drop" (fun () ->
+        ignore (Cell_c.try_upgrade cell);
+        ignore (Cell_c.strong_decrement cell));
+    (* Value-cell dereference. 1 get/op. *)
+    profile ~core:"rc_cell" ~op:"read" (fun () -> ignore (Cell_c.read cell));
+    (* Full disposal: final strong decrement, take the value, final
+       weak decrement frees the block. *)
+    profile ~core:"rc_cell" ~op:"dispose" (fun () ->
+        let cb = Cell_c.make 0 in
+        ignore (Cell_c.strong_decrement cb);
+        ignore (Cell_c.take cb);
+        ignore (Cell_c.weak_decrement cb));
+  ]
+
+(* The pinned per-op expectations for these scripts live in
+   test/test_perf.ml; a change there is a change to a core protocol's
+   atomic footprint and should be deliberate. *)
+
+(* ---------------- the matrix ---------------- *)
+
+let run ?(label = "perf") ?(threads = default_threads) ?(duration = default_duration)
+    ?(scale = default_scale) ?(log = fun (_ : string) -> ()) () : Obs.Perf.summary =
+  let metrics_were = Obs.Metrics.enabled () in
+  let trace_were = Obs.Trace.enabled () in
+  let cells =
+    List.concat_map
+      (fun p ->
+        log (Printf.sprintf "P=%d: %d stacks" p (List.length Instances.stacks));
+        let st = List.map (stack_cell ~threads:p ~duration ~scale) Instances.stacks in
+        log (Printf.sprintf "P=%d: %d queues" p (List.length Instances.queues));
+        let qs = List.map (queue_cell ~threads:p ~duration ~scale) Instances.queues in
+        let sets = Instances.all_sets Instances.Hash_s in
+        log (Printf.sprintf "P=%d: %d hash sets" p (List.length sets));
+        let hs = List.map (hash_cell ~threads:p ~duration ~scale) sets in
+        st @ qs @ hs)
+      threads
+  in
+  Obs.Report.reset_all ();
+  Obs.Metrics.set_enabled metrics_were;
+  Obs.Trace.set_enabled trace_were;
+  {
+    Obs.Perf.s_meta =
+      {
+        Obs.Perf.m_label = label;
+        m_git_sha = git_sha ();
+        m_host_domains = Domain.recommended_domain_count ();
+        m_duration = duration;
+        m_threads = threads;
+        m_scale = scale;
+      };
+    s_cells = cells;
+    s_atomics = atomic_profiles ();
+  }
+
+(* Scheme coverage a full-matrix run must achieve — the 7 reclamation
+   schemes of the evaluation (§5 plus our HE/PTB/None extensions). *)
+let required_schemes = [ "EBR"; "IBR"; "HP"; "HE"; "Hyaline"; "PTB"; "None" ]

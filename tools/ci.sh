@@ -57,9 +57,30 @@ dune exec bin/cdrc_bench.exe -- explore racy-counter --mode pct --seed 1 --iters
 dune exec bin/cdrc_bench.exe -- explore sticky-drop-help --mode random --seed 2 --iters 2000
 dune exec bin/cdrc_bench.exe -- explore slots-skip-validate --mode pct --seed 3 --iters 500
 
-echo "== no committed trace files =="
-if git ls-files 'results/*.jsonl' | grep -q .; then
-  echo "error: results/*.jsonl are generated artifacts and must not be committed" >&2
+echo "== perf smoke (pinned matrix, P=1, short) =="
+# Emit a schema-valid perf summary (DESIGN.md §11) and gate it against
+# the committed baseline. The self-compare is the deterministic exit-0
+# check; the baseline compare runs with tolerances wide enough for a
+# 1-core CI host (absolute throughput is machine-specific — the strict
+# 15/25 defaults are for trajectory points taken on one machine), so
+# what it really asserts is that the cell matrix, schema and comparator
+# still agree end-to-end.
+dune exec bin/cdrc_bench.exe -- perf --threads 1 --duration 0.05 --keys 512 \
+  --label ci-smoke --out results/BENCH_smoke.json --validate
+tools/bench_check results/BENCH_smoke.json results/BENCH_smoke.json
+baseline=$(ls BENCH_PR*.json 2>/dev/null | sort | tail -1 || true)
+if [ -n "$baseline" ]; then
+  tools/bench_check --throughput-tol 99 --latency-tol 100000 \
+    "$baseline" results/BENCH_smoke.json
+fi
+rm -f results/BENCH_smoke.json
+
+echo "== no committed result artifacts =="
+# Raw run output (traces, sweep logs, smoke summaries) is regenerable
+# and must not be versioned; the only committed perf artifacts are the
+# repo-root BENCH_PR<N>.json trajectory points.
+if git ls-files 'results/*.jsonl' 'results/*.txt' 'results/*.json' | grep -q .; then
+  echo "error: results/ holds generated artifacts and must not be committed" >&2
   exit 1
 fi
 
