@@ -324,6 +324,139 @@ let custom_cmd =
       const run $ threads_arg $ duration_arg $ schemes_arg $ adapt_arg $ structure_arg
       $ update_arg $ rq_arg $ rq_size_arg $ size_arg $ range_arg)
 
+let kv_cmd =
+  let shards_arg =
+    Arg.(
+      value & opt (list int) [ 4 ]
+      & info [ "shards" ] ~docv:"N,N,..."
+          ~doc:"Comma-separated shard counts to sweep (rounded up to powers of two).")
+  in
+  let mix_arg =
+    Arg.(
+      value & opt (list string) [ "read95" ]
+      & info [ "mix" ] ~docv:"M,M,..."
+          ~doc:"Operation mixes to sweep: read95 (95/5), write50 (50/50), scan (scan-with-churn).")
+  in
+  let keys_arg =
+    Arg.(
+      value & opt int Workload.Kv_runner.default_spec.Workload.Kv_runner.keys
+      & info [ "keys" ] ~docv:"N" ~doc:"Key range.")
+  in
+  let keygen_arg =
+    Arg.(
+      value & opt string "zipf:0.99"
+      & info [ "keygen" ] ~docv:"SPEC"
+          ~doc:
+            "Key distribution: uniform, zipf[:THETA], or hotspot[:KEYS:PCT:SHIFT] \
+             (hot-set size, hot percentage, draws between hot-set migrations).")
+  in
+  let ttl_arg =
+    Arg.(
+      value & opt int Workload.Kv_runner.default_spec.Workload.Kv_runner.ttl_ticks
+      & info [ "ttl" ] ~docv:"TICKS" ~doc:"TTL length in logical clock ticks.")
+  in
+  let ttl_pct_arg =
+    Arg.(
+      value & opt int Workload.Kv_runner.default_spec.Workload.Kv_runner.ttl_pct
+      & info [ "ttl-pct" ] ~docv:"PCT" ~doc:"Percentage of puts that carry a TTL.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.") in
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "After each run, quiesce and assert the accounting identities (node and box \
+             retirement) plus leak-freedom; exit 1 on violation.")
+  in
+  let fault_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("stalled-shard", `Stalled_shard) ])) None
+      & info [ "fault" ] ~docv:"SCENARIO"
+          ~doc:
+            "Run a fault scenario instead of the sweep. stalled-shard: a fault plan \
+             stalls the victim inside a shard-0 critical section; asserts the per-shard \
+             controller keeps the backlog bounded where fixed knobs do not (exit 1 \
+             otherwise).")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "iters" ] ~docv:"N" ~doc:"Churn iterations (fault scenario).")
+  in
+  let bound_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "bound" ] ~docv:"B" ~doc:"Backlog bound asserted for the controller-on run.")
+  in
+  let run threads duration schemes adapt shards mixes keys keygen ttl ttl_pct seed
+      validate fault iters bound =
+    match fault with
+    | Some `Stalled_shard ->
+        let ok, _ = Workload.Kv_runner.run_stalled_shard ~iters ~bound () in
+        if not ok then exit 1
+    | None ->
+        let keygen =
+          match Workload.Keygen.spec_of_string keygen with
+          | Ok g -> g
+          | Error e ->
+              Format.eprintf "kv: %s@." e;
+              exit 2
+        in
+        let mixes =
+          List.map
+            (fun m ->
+              match Workload.Kv_runner.mix_of_string m with
+              | Ok m -> m
+              | Error e ->
+                  Format.eprintf "kv: %s@." e;
+                  exit 2)
+            mixes
+        in
+        let selected =
+          match schemes with
+          | [] -> Workload.Instances.kv_services
+          | names ->
+              List.map
+                (fun n ->
+                  match Workload.Instances.find_kv n with
+                  | Some inst -> inst
+                  | None ->
+                      Format.eprintf "kv: unknown scheme %S@." n;
+                      exit 2)
+                names
+        in
+        let spec =
+          {
+            Workload.Kv_runner.default_spec with
+            Workload.Kv_runner.duration;
+            keys;
+            keygen;
+            ttl_ticks = ttl;
+            ttl_pct;
+            adapt;
+            seed;
+          }
+        in
+        let ok, _ =
+          Workload.Kv_runner.sweep ~spec ~schemes:selected ~shard_counts:shards
+            ~thread_counts:threads ~mixes ~validate ()
+        in
+        if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "kv"
+       ~doc:
+         "Sharded KV serving workload over the RC hash table: scheme x shards x threads \
+          x mix sweep with Zipfian/hotspot key skew, TTL-expiry churn, per-op latency \
+          percentiles and per-shard adaptive controllers; --fault stalled-shard runs the \
+          shard-stall + abandon-recovery scenario")
+    Term.(
+      const run $ threads_arg $ duration_arg $ schemes_arg $ adapt_arg $ shards_arg
+      $ mix_arg $ keys_arg $ keygen_arg $ ttl_arg $ ttl_pct_arg $ seed_arg $ validate_arg
+      $ fault_arg $ iters_arg $ bound_arg)
+
 let explore_cmd =
   let target_arg =
     let doc =
@@ -432,7 +565,7 @@ let () =
     @ [
         fig12_cmd; abl_sticky_cmd; abl_epochfreq_cmd; abl_hpslots_cmd; ext_stack_cmd;
         robustness_cmd; adaptivity_cmd; stats_cmd; obs_overhead_cmd; perf_cmd;
-        custom_cmd; explore_cmd;
+        kv_cmd; custom_cmd; explore_cmd;
       ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -5,6 +5,12 @@
    reader drops its snapshot — the motivating RCU-style usage for
    making manual SMR automatic.
 
+   This is the single-slot teaching example. The full serving
+   workload it motivated — a sharded KV store with per-key value
+   slots, TTL expiry, Zipfian/hotspot key skew and per-shard adaptive
+   controllers — is promoted to [Workload.Kv_service] (DESIGN.md
+   §12); drive it with `cdrc-bench kv`.
+
    Run with:  dune exec examples/kv_cache.exe *)
 
 module R = Cdrc.Make (Smr.Ebr)

@@ -939,6 +939,16 @@ module Make (S : Smr.Smr_intf.S) = struct
     in
     [ h "strong" rt.strong_ar; h "weak" rt.weak_ar; h "dispose" rt.dispose_ar ]
 
+  (** Crash/stall recovery across all three acquire–retire instances:
+      the abandoned pid's critical sections close, its announcement
+      slots clear, and its parked deferred operations land in the
+      shared orphan pools for survivor adoption — so one stalled
+      thread cannot pin the whole runtime's backlog. *)
+  let abandon rt ~pid =
+    S.abandon rt.strong_ar ~pid;
+    S.abandon rt.weak_ar ~pid;
+    S.abandon rt.dispose_ar ~pid
+
   let watchdog_check rt =
     match S.reclamation_frontier rt.strong_ar with
     | None -> None

@@ -57,6 +57,14 @@ module type S = sig
       instance (strong / weak / dispose), for the adaptive
       controller. *)
 
+  val abandon : rt -> pid:int -> unit
+  (** Crash/stall recovery: release every resource [pid] holds in all
+      three underlying scheme instances — close its critical sections,
+      clear its announcement slots, and hand its retired-but-not-ejected
+      entries to the survivors for adoption. Call it exactly once per
+      dead thread, and only after that thread has truly stopped calling
+      into the runtime (it mutates owner-only state). *)
+
   (** {1 Pointer values} *)
 
   type 'a ptr

@@ -13,6 +13,11 @@ module RC_hp = Cdrc.Make (Smr.Hp)
 module RC_he = Cdrc.Make (Smr.Hazard_eras)
 module RC_ptb = Cdrc.Make (Smr.Ptb)
 
+(* RC over the no-op scheme ("RCNone"): decrements defer forever until
+   quiesce drains them, making it the leak-upper-bound baseline of the
+   KV sweep. *)
+module RC_none = Cdrc.Make (Smr.Leaky)
+
 (* Harris-Michael list *)
 module L_ebr = Ds.Hm_list_manual.Make (Smr.Ebr)
 module L_ibr = Ds.Hm_list_manual.Make (Smr.Ibr)
@@ -208,3 +213,36 @@ let find_queue name =
   List.find_opt
     (fun (module Q : Ds.Queue_intf.S) -> normalize_name Q.name = normalize_name name)
     queues
+
+(* ---------------------------------------------------------------- *)
+(* Sharded KV service (DESIGN.md §12): automatic schemes only — the
+   serving workload exists to stress the RC conversion's deferred
+   decrements under overwrite/TTL churn. Listed under the {e bare}
+   scheme name so KV perf cells share the scheme axis with the rest of
+   the BENCH trajectory. *)
+
+module Kv_ebr = Kv_service.Make (RC_ebr)
+module Kv_ibr = Kv_service.Make (RC_ibr)
+module Kv_hyaline = Kv_service.Make (RC_hyaline)
+module Kv_hp = Kv_service.Make (RC_hp)
+module Kv_he = Kv_service.Make (RC_he)
+module Kv_ptb = Kv_service.Make (RC_ptb)
+module Kv_none = Kv_service.Make (RC_none)
+
+let kv_services : (string * (module Kv_intf.S)) list =
+  [
+    ("EBR", (module Kv_ebr : Kv_intf.S));
+    ("IBR", (module Kv_ibr));
+    ("Hyaline", (module Kv_hyaline));
+    ("HP", (module Kv_hp));
+    ("HE", (module Kv_he));
+    ("PTB", (module Kv_ptb));
+    ("None", (module Kv_none));
+  ]
+
+let find_kv name =
+  List.find_opt
+    (fun (n, _) ->
+      normalize_name n = normalize_name name
+      || normalize_name ("RC" ^ n) = normalize_name name)
+    kv_services

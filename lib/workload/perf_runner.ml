@@ -2,8 +2,9 @@
     `tools/bench_check` (DESIGN.md §11).
 
     One run measures every (scheme × structure × thread-count) cell of
-    a fixed matrix — all Treiber stacks, all doubly-linked queues and
-    all hash-table sets — with full telemetry on, and assembles an
+    a fixed matrix — all Treiber stacks, all doubly-linked queues,
+    all hash-table sets, and the sharded KV serving store under its
+    read95/write50 mixes — with full telemetry on, and assembles an
     {!Obs.Perf.summary}: throughput, retire→free latency and eject
     batch-size quantiles out of the {!Obs.Histo} rings, peak live
     blocks and peak retired backlog sampled by the coordinator, plus
@@ -219,6 +220,61 @@ let hash_cell ~threads ~duration ~scale (module D : Ds.Set_intf.S) =
   in
   measure ~scheme:D.name ~structure:"hash" ~threads ~duration probe
 
+(* Serving cells: the sharded KV store under Zipfian skew, one cell
+   per (scheme × mix). The coordinator's sampler doubles as the
+   service clock (one tick per ~2ms observation), so TTL'd puts
+   expire mid-cell and the expiry/overwrite retire churn the cell
+   measures is the real serving pipeline, not just inserts. *)
+let kv_mixes = [ ("kv-read95", 95); ("kv-write50", 50) ]
+
+let kv_cell ~threads ~duration ~scale ~structure ~read_pct
+    ((name, (module K : Kv_intf.S)) : string * (module Kv_intf.S)) =
+  let t = K.create ~shards:4 ~buckets:(max 64 (scale / 8)) ~max_threads:(threads + 1) () in
+  let c0 = K.ctx t 0 in
+  for k = 0 to (scale / 2) - 1 do
+    ignore (K.put c0 ~now:0 k k)
+  done;
+  K.flush c0;
+  let probe =
+    {
+      p_worker =
+        (fun pid running ->
+          let c = K.ctx t pid in
+          let kg =
+            Keygen.create ~seed:(7919 * pid) ~range:scale (Keygen.Zipfian { theta = 0.99 })
+          in
+          let rng = Repro_util.Rng.create ~seed:(104729 * pid) in
+          let n = ref 0 in
+          (try
+             while running () do
+               let now = K.now t in
+               for _ = 1 to 64 do
+                 let key = Keygen.next kg in
+                 let r = Repro_util.Rng.int rng 100 in
+                 if r < read_pct then ignore (K.get c ~now key)
+                 else if r mod 5 = 0 then ignore (K.remove c ~now key)
+                 else
+                   let ttl = if r land 3 = 0 then Some 64 else None in
+                   ignore (K.put c ~now ?ttl key r)
+               done;
+               n := !n + 64
+             done;
+             K.flush c
+           with _ -> ());
+          !n);
+      p_live =
+        (fun () ->
+          ignore (K.tick t);
+          K.live_objects t);
+      p_backlog = (fun () -> K.retired_backlog t);
+      p_finish =
+        (fun () ->
+          K.teardown t;
+          K.live_objects t);
+    }
+  in
+  measure ~scheme:name ~structure ~threads ~duration probe
+
 (* ---------------- atomic-op profiles ---------------- *)
 
 (* The three schedule-explored cores, re-instantiated over the
@@ -313,7 +369,18 @@ let run ?(label = "perf") ?(threads = default_threads) ?(duration = default_dura
         let sets = Instances.all_sets Instances.Hash_s in
         log (Printf.sprintf "P=%d: %d hash sets" p (List.length sets));
         let hs = List.map (hash_cell ~threads:p ~duration ~scale) sets in
-        st @ qs @ hs)
+        let kvs =
+          List.concat_map
+            (fun (structure, read_pct) ->
+              log
+                (Printf.sprintf "P=%d: %d KV services (%s)" p
+                   (List.length Instances.kv_services) structure);
+              List.map
+                (kv_cell ~threads:p ~duration ~scale ~structure ~read_pct)
+                Instances.kv_services)
+            kv_mixes
+        in
+        st @ qs @ hs @ kvs)
       threads
   in
   Obs.Report.reset_all ();

@@ -33,8 +33,12 @@ struct
     done;
     Alcotest.(check int) "final size agrees" (IntSet.cardinal !model) (D.size d);
     D.flush c;
+    Alcotest.(check bool) "backlog non-negative" true (D.retired_backlog d >= 0);
     D.teardown d;
-    Alcotest.(check int) "leak free" 0 (D.live_objects d)
+    Alcotest.(check int) "leak free" 0 (D.live_objects d);
+    (* Teardown quiesces: nothing may stay parked in the retire
+       pipeline once every thread has drained. *)
+    Alcotest.(check int) "backlog drained" 0 (D.retired_backlog d)
 
   let duplicate_semantics () =
     let d = D.create ~max_threads:1 () in
@@ -126,8 +130,10 @@ struct
     Alcotest.(check int) "no worker failures" 0 (Atomic.get failures);
     let size = D.size d in
     Alcotest.(check bool) "size within key range" true (size >= 0 && size <= 16);
+    Alcotest.(check bool) "backlog non-negative" true (D.retired_backlog d >= 0);
     D.teardown d;
-    Alcotest.(check int) "leak free" 0 (D.live_objects d)
+    Alcotest.(check int) "leak free" 0 (D.live_objects d);
+    Alcotest.(check int) "backlog drained" 0 (D.retired_backlog d)
 
   let tests =
     [
@@ -330,8 +336,10 @@ struct
     let expected = List.init (p * 3) (fun i -> i + 1) in
     Alcotest.(check (list int)) "values conserved" expected final;
     Q.flush c0;
+    Alcotest.(check bool) "backlog non-negative" true (Q.retired_backlog q >= 0);
     Q.teardown q;
-    Alcotest.(check int) "leak free" 0 (Q.live_objects q)
+    Alcotest.(check int) "leak free" 0 (Q.live_objects q);
+    Alcotest.(check int) "backlog drained" 0 (Q.retired_backlog q)
 
   let per_producer_order () =
     (* Two producers with disjoint value spaces and one consumer: each
