@@ -208,7 +208,7 @@ let perf_cmd =
 
 let stats_cmd =
   let exp_arg =
-    let doc = "Experiment to instrument: fig11, fig13a-f, fig12 or robustness." in
+    let doc = "Experiment to instrument: fig11, fig13a-f, fig12, robustness or chaos." in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
   in
   let perf_arg =
@@ -361,6 +361,29 @@ let kv_cmd =
       & info [ "ttl-pct" ] ~docv:"PCT" ~doc:"Percentage of puts that carry a TTL.")
   in
   let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.") in
+  let deadline_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline in milliseconds; attempts past it count as timed out \
+             and may be retried. 0 disables deadline accounting.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Bounded retries (with seeded-jitter backoff) after a deadline miss.")
+  in
+  let breaker_arg =
+    Arg.(
+      value & flag
+      & info [ "breaker" ]
+          ~doc:
+            "Enable per-shard circuit breakers: the sampler feeds each shard's backlog \
+             and request p99 into a closed/open/half-open machine and workers shed \
+             against its published state (open sheds all, read-only sheds writes).")
+  in
   let validate_arg =
     Arg.(
       value & flag
@@ -391,7 +414,7 @@ let kv_cmd =
       & info [ "bound" ] ~docv:"B" ~doc:"Backlog bound asserted for the controller-on run.")
   in
   let run threads duration schemes adapt shards mixes keys keygen ttl ttl_pct seed
-      validate fault iters bound =
+      deadline_ms retries breaker validate fault iters bound =
     match fault with
     | Some `Stalled_shard ->
         let ok, _ = Workload.Kv_runner.run_stalled_shard ~iters ~bound () in
@@ -436,6 +459,9 @@ let kv_cmd =
             ttl_ticks = ttl;
             ttl_pct;
             adapt;
+            deadline_ms;
+            retries;
+            breaker;
             seed;
           }
         in
@@ -454,8 +480,119 @@ let kv_cmd =
           shard-stall + abandon-recovery scenario")
     Term.(
       const run $ threads_arg $ duration_arg $ schemes_arg $ adapt_arg $ shards_arg
-      $ mix_arg $ keys_arg $ keygen_arg $ ttl_arg $ ttl_pct_arg $ seed_arg $ validate_arg
-      $ fault_arg $ iters_arg $ bound_arg)
+      $ mix_arg $ keys_arg $ keygen_arg $ ttl_arg $ ttl_pct_arg $ seed_arg $ deadline_arg
+      $ retries_arg $ breaker_arg $ validate_arg $ fault_arg $ iters_arg $ bound_arg)
+
+let chaos_cmd =
+  let campaign_arg =
+    Arg.(
+      value & opt string "mixed"
+      & info [ "campaign" ] ~docv:"KIND"
+          ~doc:
+            "Campaign kind: stall-storm | rolling-crash | crash-eject | gray-slow | \
+             mixed (stall + rolling crash + gray + eject-crash across victims).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Campaign seed: victim selection, fire points and all request randomness \
+             derive from it, so a failed campaign replays bit-identically.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 4000 & info [ "steps" ] ~docv:"N" ~doc:"Requests to issue.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N" ~doc:"Shard count (power of two).")
+  in
+  let victims_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "victims" ] ~docv:"N" ~doc:"Faulted shards (default: all).")
+  in
+  let breaker_arg =
+    Arg.(
+      value & opt (enum [ ("on", true); ("off", false) ]) true
+      & info [ "breaker" ] ~docv:"on|off"
+          ~doc:
+            "Per-shard circuit breakers + recovery drills. With off, no recovery runs \
+             — the recovery-SLO oracle then fails on campaigns that pin a shard (the \
+             CI inverted gate).")
+  in
+  let write_pct_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "write-pct" ] ~docv:"PCT" ~doc:"Percentage of write requests.")
+  in
+  let bound_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "bound" ] ~docv:"N"
+          ~doc:"Backlog bound: breaker trip point and end-of-campaign recovery gate.")
+  in
+  let slo_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "recovery-slo" ] ~docv:"STEPS"
+          ~doc:"Max steps from a breaker trip to bounded backlog.")
+  in
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Check the KV accounting identities at quiescence (with slack for requests \
+             aborted mid-flight by a crash).")
+  in
+  let run campaign seed steps shards victims breaker write_pct bound slo validate schemes
+      =
+    match Fault.Chaos.kind_of_string campaign with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok kind ->
+        let spec =
+          {
+            Workload.Chaos_runner.default_spec with
+            ch_seed = seed;
+            ch_kind = kind;
+            ch_shards = shards;
+            ch_victims = (match victims with Some v -> v | None -> shards);
+            ch_steps = steps;
+            ch_write_pct = write_pct;
+            ch_breaker = breaker;
+            ch_backlog_bound = bound;
+            ch_recovery_slo = slo;
+            ch_validate = validate;
+          }
+        in
+        let schemes =
+          match schemes with
+          | [] -> Workload.Chaos_runner.base_schemes
+          | names -> (
+              match Workload.Chaos_runner.find_schemes names with
+              | [] ->
+                  prerr_endline "no matching schemes";
+                  exit 2
+              | l -> l)
+        in
+        let ok, _ = Workload.Chaos_runner.run_all ~spec ~schemes () in
+        if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Deterministic chaos campaign against the sharded KV service: seeded \
+          multi-shard fault schedules (stall storms, rolling crashes, crash-during-\
+          eject, gray-failure slow shards) driven through deadlines, retries and \
+          per-shard circuit breakers with abandon-based recovery drills; exits 1 if \
+          any safety or SLO oracle fails")
+    Term.(
+      const run $ campaign_arg $ seed_arg $ steps_arg $ shards_arg $ victims_arg
+      $ breaker_arg $ write_pct_arg $ bound_arg $ slo_arg $ validate_arg $ schemes_arg)
 
 let explore_cmd =
   let target_arg =
@@ -565,7 +702,7 @@ let () =
     @ [
         fig12_cmd; abl_sticky_cmd; abl_epochfreq_cmd; abl_hpslots_cmd; ext_stack_cmd;
         robustness_cmd; adaptivity_cmd; stats_cmd; obs_overhead_cmd; perf_cmd;
-        kv_cmd; custom_cmd; explore_cmd;
+        kv_cmd; chaos_cmd; custom_cmd; explore_cmd;
       ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

@@ -1,5 +1,10 @@
 type site = On_begin_cs | On_confirm | On_retire | On_eject | On_alloc
-type action = Stall of int | Delay of int | Crash | Drop_eject of int
+type action =
+  | Stall of int
+  | Delay of int
+  | Crash
+  | Drop_eject of int
+  | Slow of { factor : int }
 type rule = { site : site; pid : int option; at : int; action : action }
 
 exception Crashed of int
@@ -39,6 +44,7 @@ let action_name = function
   | Delay n -> Printf.sprintf "delay(%d)" n
   | Crash -> "crash"
   | Drop_eject n -> Printf.sprintf "drop_eject(%d)" n
+  | Slow { factor } -> Printf.sprintf "slow(%d)" factor
 
 let fired_c = Obs.Metrics.counter "fault.fired"
 
@@ -49,6 +55,7 @@ type t = {
   stalled_until : int Atomic.t array; (* step deadline; 0 = running, max_int = until resumed *)
   crashed : bool array;
   drop_budget : int array; (* owner-pid only *)
+  slow : int array; (* gray-failure factor; 0 = healthy, persists until heal *)
   trace : event list Atomic.t;
 }
 
@@ -56,6 +63,10 @@ let create rules =
   List.iter
     (fun r ->
       if r.at < 1 then invalid_arg "Fault_plan.create: rule hit counts start at 1";
+      (match r.action with
+      | Slow { factor } when factor < 1 ->
+          invalid_arg "Fault_plan.create: slow factors start at 1"
+      | _ -> ());
       match r.pid with
       | Some p when p < 0 || p >= max_pids -> invalid_arg "Fault_plan.create: pid out of range"
       | _ -> ())
@@ -67,6 +78,7 @@ let create rules =
     stalled_until = Array.init max_pids (fun _ -> Atomic.make 0);
     crashed = Array.make max_pids false;
     drop_budget = Array.make max_pids 0;
+    slow = Array.make max_pids 0;
     trace = Atomic.make [];
   }
 
@@ -76,6 +88,8 @@ let now t = Atomic.get t.step
 let stalled t ~pid = Atomic.get t.stalled_until.(pid) > Atomic.get t.step
 let crashed t ~pid = t.crashed.(pid)
 let resume t ~pid = Atomic.set t.stalled_until.(pid) 0
+let slow_factor t ~pid = t.slow.(pid)
+let heal t ~pid = t.slow.(pid) <- 0
 
 let rec record t ev =
   let cur = Atomic.get t.trace in
@@ -110,6 +124,7 @@ let hit t site ~pid =
       | Stall n -> Atomic.set t.stalled_until.(pid) (if n <= 0 then max_int else step + n)
       | Crash -> t.crashed.(pid) <- true
       | Drop_eject n -> t.drop_budget.(pid) <- t.drop_budget.(pid) + n
+      | Slow { factor } -> t.slow.(pid) <- factor
       | Delay _ -> ());
       Some r.action
 
@@ -133,12 +148,13 @@ let random ~seed ?(rules = 3) ~max_threads () =
     | _ -> On_alloc
   in
   let action () =
-    match Repro_util.Rng.int rng 8 with
+    match Repro_util.Rng.int rng 10 with
     | 0 | 1 | 2 -> Delay (1 + Repro_util.Rng.int rng 64)
     | 3 | 4 ->
         Stall (if Repro_util.Rng.int rng 3 = 0 then 0 else 5 + Repro_util.Rng.int rng 60)
     | 5 | 6 -> Crash
-    | _ -> Drop_eject (1 + Repro_util.Rng.int rng 4)
+    | 7 -> Drop_eject (1 + Repro_util.Rng.int rng 4)
+    | _ -> Slow { factor = 1 + Repro_util.Rng.int rng 7 }
   in
   let rule () =
     {

@@ -26,7 +26,15 @@
     [abandon]. [Delay] spins to widen race windows; [Drop_eject n]
     makes the victim's ejector "lose" its next [n] reclaimable entries
     (the wrapper re-retires them, modelling a lost scan — delayed, not
-    leaked). *)
+    leaked).
+
+    [Slow] is the gray-failure action: the pid stays alive and makes
+    progress, but every subsequent scheme call pays a spin proportional
+    to the factor — a degraded-but-responsive shard, not a stalled one.
+    Unlike [Stall] it never freezes protection and never parks the
+    thread; unlike [Delay] it persists until {!heal}. Drivers read
+    {!slow_factor} to scale logical request latency in deterministic
+    campaigns. *)
 
 type site = On_begin_cs | On_confirm | On_retire | On_eject | On_alloc
 
@@ -35,6 +43,8 @@ type action =
   | Delay of int  (** spin for n [cpu_relax] iterations, then proceed *)
   | Crash  (** kill the pid: raise {!Crashed}, permanently *)
   | Drop_eject of int  (** withhold the next n ejected entries (re-retired) *)
+  | Slow of { factor : int }
+      (** gray failure: slow every later call by [factor] until {!heal} *)
 
 type rule = { site : site; pid : int option; at : int; action : action }
 (** Fire [action] on the [at]-th hit of [site] by [pid] ([None] = the
@@ -78,6 +88,13 @@ val crashed : t -> pid:int -> bool
 
 val resume : t -> pid:int -> unit
 (** Lift a stall early (recovery experiments). *)
+
+val slow_factor : t -> pid:int -> int
+(** Current gray-failure factor for the pid; [0] = healthy. Set by a
+    fired [Slow] rule, cleared by {!heal}. *)
+
+val heal : t -> pid:int -> unit
+(** Clear the pid's gray-failure slowdown (recovery experiments). *)
 
 val now : t -> int
 (** Current fault-clock step. *)

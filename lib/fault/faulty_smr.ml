@@ -23,7 +23,10 @@
       thread wakes and finishes its frozen operation").
     - [Drop_eject]: the next n entries the underlying [eject] returns
       are re-retired instead (a lost scan: reclamation is delayed, not
-      leaked). *)
+      leaked).
+    - [Slow]: from the firing hit on, every intercepted site spins
+      proportionally to the factor before proceeding — a gray-failed
+      thread that is degraded but alive — until [Fault_plan.heal]. *)
 
 module Make
     (S : Smr.Smr_intf.S)
@@ -61,6 +64,10 @@ struct
       Domain.cpu_relax ()
     done
 
+  (* Gray failure: pay the persistent per-site slowdown, if any. *)
+  let pace ~pid =
+    match Fault_plan.slow_factor plan ~pid with 0 -> () | f -> spin f
+
   (* On the stalled->running edge, the thread "wakes" and finishes its
      frozen operation: replay the suppressed releases and section exit. *)
   let maybe_wake t ~pid =
@@ -83,12 +90,13 @@ struct
     | None -> ()
     | Some (Fault_plan.Delay n) -> spin n
     | Some Fault_plan.Crash -> raise (Fault_plan.Crashed pid)
-    | Some (Fault_plan.Stall _ | Fault_plan.Drop_eject _) -> ()
+    | Some (Fault_plan.Stall _ | Fault_plan.Drop_eject _ | Fault_plan.Slow _) -> ()
 
   let begin_critical_section t ~pid =
     maybe_wake t ~pid;
     let was_stalled = Fault_plan.stalled plan ~pid in
     act_before ~pid (Fault_plan.hit plan On_begin_cs ~pid);
+    pace ~pid;
     (* A stalled thread starts no new sections (parked drivers should
        not get here; the guard keeps a stray call from un-pinning the
        frozen announcement). *)
@@ -104,6 +112,7 @@ struct
   let alloc_hook t ~pid =
     maybe_wake t ~pid;
     act_before ~pid (Fault_plan.hit plan On_alloc ~pid);
+    pace ~pid;
     S.alloc_hook t.inner ~pid
 
   let try_acquire t ~pid id = S.try_acquire t.inner ~pid id
@@ -111,6 +120,7 @@ struct
 
   let confirm t ~pid g id =
     act_before ~pid (Fault_plan.hit plan On_confirm ~pid);
+    pace ~pid;
     S.confirm t.inner ~pid g id
 
   let release t ~pid g =
@@ -125,6 +135,7 @@ struct
     maybe_wake t ~pid;
     let a = Fault_plan.hit plan On_retire ~pid in
     (match a with Some (Fault_plan.Delay n) -> spin n | _ -> ());
+    pace ~pid;
     S.retire t.inner ~pid id ~birth op;
     (* Crash after recording: the thread dies on the way out, but the
        entry is safely queued for adoption. *)
@@ -135,6 +146,7 @@ struct
     else begin
       maybe_wake t ~pid;
       act_before ~pid (Fault_plan.hit plan On_eject ~pid);
+      pace ~pid;
       let ops = S.eject ?force t.inner ~pid in
       match Fault_plan.take_drops plan ~pid ~avail:(List.length ops) with
       | 0 -> ops

@@ -28,6 +28,7 @@ type ev =
   | Watchdog of { scheme : string; verdict : string }
   | Fault of { site : string; action : string }
   | Sample of { t_ms : int; ops_per_s : int; live : int; backlog : int }
+  | Breaker of { shard : int; state : string; cause : string }
 
 type entry = { seq : int; e_pid : int; ev : ev }
 
@@ -115,6 +116,8 @@ let fields_of_ev = function
   | Sample { t_ms; ops_per_s; live; backlog } ->
       ( "sample",
         [ ("t_ms", `I t_ms); ("ops_per_s", `I ops_per_s); ("live", `I live); ("backlog", `I backlog) ] )
+  | Breaker { shard; state; cause } ->
+      ("breaker", [ ("shard", `I shard); ("state", `S state); ("cause", `S cause) ])
 
 let entry_to_json { seq; e_pid; ev } =
   let kind, fields = fields_of_ev ev in

@@ -649,6 +649,7 @@ type metric_requirement = Key of string | Prefix of string
 let stats_requirements = function
   | "robustness" -> [ Key "fault.fired"; Prefix "smr."; Prefix "ar." ]
   | "fig12" -> [ Prefix "smr."; Prefix "cdrc." ]
+  | "chaos" -> [ Prefix "kv.breaker."; Key "kv.retry"; Key "kv.shed" ]
   | _ ->
       [ Key "smr.ebr.retire"; Key "smr.ebr.eject.ops"; Prefix "cdrc."; Prefix "ar." ]
 
@@ -687,6 +688,19 @@ let run_stats ?(threads = [ 2 ]) ?(duration = 0.3) ?(schemes = []) ?(scale = 1)
     | "robustness" ->
         ignore (run_robustness ~duration ~schemes ());
         true
+    | "chaos" ->
+        (* One mixed campaign with the breaker on; a deliberately tight
+           deadline makes sure the retry/shed paths actually fire so the
+           requirements below are discriminating. *)
+        let cschemes =
+          if schemes = [] then Chaos_runner.base_schemes
+          else Chaos_runner.find_schemes schemes
+        in
+        let spec =
+          { Chaos_runner.default_spec with Chaos_runner.ch_deadline = 12 }
+        in
+        ignore (Chaos_runner.run_all ~spec ~schemes:cschemes ());
+        true
     | id -> (
         match find_set_exp id with
         | Some e ->
@@ -694,8 +708,8 @@ let run_stats ?(threads = [ 2 ]) ?(duration = 0.3) ?(schemes = []) ?(scale = 1)
             true
         | None ->
             Format.eprintf
-              "stats: unknown experiment %S (expected fig11, fig13a-f, fig12 or \
-               robustness)@."
+              "stats: unknown experiment %S (expected fig11, fig13a-f, fig12, \
+               robustness or chaos)@."
               id;
             false)
   in

@@ -98,6 +98,11 @@ module type S = sig
 
   val flush : ctx -> unit
 
+  val drain_shard : ctx -> shard:int -> unit
+  (** Eagerly eject one shard's runtime from the caller's handle until
+      its backlog stops shrinking — the recovery-drill drain after an
+      {!abandon_shard}. *)
+
   (** {1 Accounting and observability} *)
 
   val size : t -> now:int -> int

@@ -48,6 +48,9 @@ type spec = {
   ttl_ticks : int; (* TTL length, in logical clock ticks *)
   sweep_every : int; (* background expiry sweep period, in ticks *)
   adapt : bool; (* per-shard adaptive controllers *)
+  deadline_ms : float; (* per-request deadline; 0 = no deadline accounting *)
+  retries : int; (* bounded retries after a deadline miss *)
+  breaker : bool; (* per-shard circuit breakers (sampler-driven) *)
   seed : int;
 }
 
@@ -64,6 +67,9 @@ let default_spec =
     ttl_ticks = 64;
     sweep_every = 32;
     adapt = false;
+    deadline_ms = 0.;
+    retries = 0;
+    breaker = false;
     seed = 42;
   }
 
@@ -83,7 +89,12 @@ type result = {
   r_peak_backlog : int; (* service-wide *)
   r_shard_peak_backlog : int array;
   r_leaked : int;
-  r_failures : int;
+  r_failures : int; (* worker deaths only — never request outcomes *)
+  r_timed_out : int; (* requests past the deadline after all retries *)
+  r_retried_ok : int; (* requests rescued by a retry *)
+  r_retries : int; (* retry attempts issued *)
+  r_shed : int; (* requests rejected by a breaker *)
+  r_trips : int; (* breaker open transitions *)
   r_adapt_decisions : string list;
   r_violations : string list; (* internal-consistency failures; [] = valid *)
 }
@@ -94,12 +105,16 @@ let pp_result ppf r =
     | Some (p50, p99, _) -> Printf.sprintf "  %s=%d/%dns" name p50 p99
   in
   Format.fprintf ppf
-    "%-8s %-10s P=%-2d S=%-2d %8.3f Mops/s  ops=%-9d hit=%4.1f%%%s%s%s  peak_backlog=%-6d%s%s%s"
+    "%-8s %-10s P=%-2d S=%-2d %8.3f Mops/s  ops=%-9d hit=%4.1f%%%s%s%s  peak_backlog=%-6d%s%s%s%s"
     r.r_scheme (mix_to_string r.r_spec.mix) r.r_spec.threads r.r_spec.shards r.r_mops
     r.r_ops
     (100. *. r.r_hit_rate)
     (pp_lat "get" r.r_get_lat) (pp_lat "put" r.r_put_lat) (pp_lat "scan" r.r_scan_lat)
     r.r_peak_backlog
+    (if r.r_timed_out + r.r_retried_ok + r.r_shed + r.r_trips > 0 then
+       Printf.sprintf "  timeout=%d retried_ok=%d shed=%d trips=%d" r.r_timed_out
+         r.r_retried_ok r.r_shed r.r_trips
+     else "")
     (if r.r_leaked > 0 then Printf.sprintf "  LEAK=%d" r.r_leaked else "")
     (if r.r_failures > 0 then Printf.sprintf "  FAILED-WORKERS=%d" r.r_failures else "")
     (match r.r_violations with
@@ -111,6 +126,13 @@ let get_histo = Obs.Histo.histo "kv.get.latency_ns"
 let put_histo = Obs.Histo.histo "kv.put.latency_ns"
 let scan_histo = Obs.Histo.histo "kv.scan.latency_ns"
 let lat_sample_mask = 7
+
+(* Request-outcome counters, shared by name with Chaos_runner (the
+   metrics registry is idempotent per name). *)
+let retry_c = Obs.Metrics.counter "kv.retry"
+let shed_c = Obs.Metrics.counter "kv.shed"
+let timeout_c = Obs.Metrics.counter "kv.timeout"
+let retried_ok_c = Obs.Metrics.counter "kv.retried_ok"
 
 (* The internal-consistency check of the [test] archetype, shared by
    [--validate] runs and test_kv.ml: at quiescence after a final
@@ -153,6 +175,18 @@ let run_one ?(spec = default_spec) ?(validate = false)
   let stop = Atomic.make false in
   let ops = Array.make spec.threads 0 in
   let failures = Atomic.make 0 in
+  (* Request-outcome tallies, per worker (summed at the end) — kept
+     strictly apart from [failures], which counts worker deaths. *)
+  let timed_out = Array.make spec.threads 0 in
+  let retried_ok = Array.make spec.threads 0 in
+  let retries_issued = Array.make spec.threads 0 in
+  let shed = Array.make spec.threads 0 in
+  let deadline_ns = int_of_float (spec.deadline_ms *. 1e6) in
+  (* Per-shard breaker state words, published by the sampler and read
+     by every worker on admission: 0 = admit, 1 = read-only (shed
+     writes), 2 = open (shed everything). *)
+  let nshards = K.shard_count t in
+  let breaker_words = Array.init nshards (fun _ -> Atomic.make 0) in
   let worker pid () =
     let c = K.ctx t (pid + 1) in
     let kg =
@@ -169,34 +203,95 @@ let run_one ?(spec = default_spec) ?(validate = false)
       end
       else op ()
     in
+    (* The resilient request path: admission against the shard's
+       published breaker word, then — when a deadline is set — wall
+       time on every attempt, with up to [retries] re-executions
+       behind a seeded-jitter backoff. A wall clock cannot abort a
+       synchronous call, so a missed deadline means the attempt is
+       charged as timed out and the budget decides whether anyone
+       retries; that is exactly the accounting a caller with a
+       deadline would observe. *)
+    let admitted shard kindw =
+      (not spec.breaker)
+      ||
+      match Atomic.get breaker_words.(shard) with
+      | 2 -> false
+      | 1 -> kindw = Breaker.Read
+      | _ -> true
+    in
+    let request shard kindw histo op =
+      if not (admitted shard kindw) then begin
+        shed.(pid) <- shed.(pid) + 1;
+        Obs.Metrics.incr shed_c ~pid:(pid + 1)
+      end
+      else if deadline_ns = 0 then
+        match histo with Some h -> timed h op | None -> op ()
+      else begin
+        let attempt () =
+          let t0 = Unix.gettimeofday () in
+          op ();
+          let dt = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+          (match histo with
+          | Some h when !n land lat_sample_mask = 0 ->
+              Obs.Histo.observe h ~pid:(pid + 1) dt
+          | _ -> ());
+          dt
+        in
+        if attempt () > deadline_ns then begin
+          let b = Repro_util.Backoff.create ~min:1 ~max:64 ~rng () in
+          let rec go k =
+            if k > spec.retries then begin
+              timed_out.(pid) <- timed_out.(pid) + 1;
+              Obs.Metrics.incr timeout_c ~pid:(pid + 1)
+            end
+            else begin
+              Repro_util.Backoff.once b;
+              retries_issued.(pid) <- retries_issued.(pid) + 1;
+              Obs.Metrics.incr retry_c ~pid:(pid + 1);
+              if attempt () <= deadline_ns then begin
+                retried_ok.(pid) <- retried_ok.(pid) + 1;
+                Obs.Metrics.incr retried_ok_c ~pid:(pid + 1)
+              end
+              else go (k + 1)
+            end
+          in
+          go 1
+        end
+      end
+    in
     (try
        while not (Atomic.get stop) do
          let now = K.now t in
          for _ = 1 to 64 do
            let key = Keygen.next kg in
+           let shard = K.shard_of_key t key in
            let r = Repro_util.Rng.int rng 100 in
+           let get () =
+             request shard Breaker.Read (Some get_histo) (fun () ->
+                 ignore (K.get c ~now key))
+           in
            let put () =
              let ttl =
                if Repro_util.Rng.int rng 100 < spec.ttl_pct then Some spec.ttl_ticks
                else None
              in
-             timed put_histo (fun () -> ignore (K.put c ~now ?ttl key !n))
+             request shard Breaker.Write (Some put_histo) (fun () ->
+                 ignore (K.put c ~now ?ttl key !n))
+           in
+           let remove () =
+             request shard Breaker.Write None (fun () -> ignore (K.remove c ~now key))
            in
            (match spec.mix with
-           | Read95 ->
-               if r < 95 then timed get_histo (fun () -> ignore (K.get c ~now key))
-               else put ()
+           | Read95 -> if r < 95 then get () else put ()
            | Write50 ->
-               if r < 50 then timed get_histo (fun () -> ignore (K.get c ~now key))
-               else if r < 90 then put ()
-               else ignore (K.remove c ~now key)
+               if r < 50 then get () else if r < 90 then put () else remove ()
            | Scan_churn ->
                if r < 10 then
-                 timed scan_histo (fun () -> ignore (K.scan c ~now key (key + 64)))
-               else if r < 60 then
-                 timed get_histo (fun () -> ignore (K.get c ~now key))
+                 request shard Breaker.Read (Some scan_histo) (fun () ->
+                     ignore (K.scan c ~now key (key + 64)))
+               else if r < 60 then get ()
                else if r < 90 then put ()
-               else ignore (K.remove c ~now key));
+               else remove ());
            incr n
          done
        done;
@@ -213,13 +308,30 @@ let run_one ?(spec = default_spec) ?(validate = false)
      expiry sweep (the retirement storm) every [sweep_every] ticks, and
      — with [adapt] — one controller per shard fed that shard's
      backlog, so a hotspot phase shift is a per-shard signal change. *)
-  let nshards = K.shard_count t in
   let shard_peaks = Array.make nshards 0 in
   let peak_backlog = ref 0 in
   let swept = ref 0 in
+  let trips = ref 0 in
   let controllers =
     if spec.adapt then
       Array.init nshards (fun s -> Adapt.Controller.create (K.shard_control t ~shard:s))
+    else [||]
+  in
+  (* Sampler-driven breakers: transitions come entirely from the tick
+     signals (backlog, request p99) — no cross-domain report plumbing —
+     and the tick-only liveness of {!Breaker.tick} (idle-close from
+     half-open) guarantees recovery once the signals are healthy. The
+     latency trip only makes sense against a deadline, so without one
+     it is pushed out of reach. *)
+  let breakers =
+    if spec.breaker then
+      let cfg =
+        {
+          Breaker.default_config with
+          p99_trip = (if deadline_ns > 0 then 2 * deadline_ns else max_int / 2);
+        }
+      in
+      Array.init nshards (fun s -> Breaker.create ~config:cfg ~shard:s ())
     else [||]
   in
   let deadline = t0 +. spec.duration in
@@ -232,6 +344,21 @@ let run_one ?(spec = default_spec) ?(validate = false)
         let b = K.shard_backlog t ~shard:s in
         shard_peaks.(s) <- max shard_peaks.(s) b;
         total := !total + b;
+        if spec.breaker then begin
+          let p99 =
+            match Obs.Histo.percentiles get_histo with
+            | Some (_, p99, _) when deadline_ns > 0 -> Some p99
+            | _ -> None
+          in
+          (match Breaker.on_tick breakers.(s) ~pid:0 ~backlog:b ~p99 with
+          | Some (Breaker.To_open _) -> incr trips
+          | _ -> ());
+          Atomic.set breaker_words.(s)
+            (match Breaker.state breakers.(s) with
+            | Breaker.Open _ -> 2
+            | Breaker.Closed { shed_writes = true; _ } -> 1
+            | _ -> 0)
+        end;
         if spec.adapt then
           ignore
             (Adapt.Controller.observe controllers.(s)
@@ -287,6 +414,11 @@ let run_one ?(spec = default_spec) ?(validate = false)
     r_shard_peak_backlog = shard_peaks;
     r_leaked = leaked;
     r_failures = Atomic.get failures;
+    r_timed_out = Array.fold_left ( + ) 0 timed_out;
+    r_retried_ok = Array.fold_left ( + ) 0 retried_ok;
+    r_retries = Array.fold_left ( + ) 0 retries_issued;
+    r_shed = Array.fold_left ( + ) 0 shed;
+    r_trips = !trips;
     r_adapt_decisions =
       Array.to_list controllers
       |> List.concat_map (fun c -> Adapt.Controller.decisions c);
@@ -323,6 +455,120 @@ let sweep ?(spec = default_spec) ?(schemes = Instances.kv_services)
     List.for_all (fun r -> r.r_leaked = 0 && r.r_failures = 0 && r.r_violations = []) results
   in
   (ok, results)
+
+(* ================================================================= *)
+(* Controller reaction latency to a workload phase shift (ROADMAP
+   item 5's open question: how fast does adaptation react, not just
+   whether it eventually bounds the backlog). Deterministic single
+   thread, logical time.
+
+   The probe couples the hotspot keygen's migrations to a retirement
+   signal the controller can see: every tick refreshes the hot set
+   with TTL'd puts, so while a phase is stable the entries are
+   perpetually renewed and the backlog stays calm; the moment the hot
+   set migrates, the abandoned phase stops being refreshed, expires
+   [ttl] ticks later, and the next background sweep claims the whole
+   old hot set at once — a retirement burst that drives the shard
+   backlog past [backlog_high]. Reaction latency is the tick gap from
+   the migration to the controller's first [Force_advance], so it
+   bounds the end-to-end detection pipeline: expiry + sweep cadence +
+   controller tick. *)
+
+type reaction_result = {
+  a_shifts : int; (* hot-set migrations that occurred *)
+  a_reactions : int list; (* shift → first Force_advance, ticks, per shift *)
+  a_worst : int; (* max reaction; -1 when nothing was measured *)
+  a_peak_backlog : int; (* anywhere, including post-shift bursts *)
+  a_steady_peak : int; (* outside the post-shift burst windows *)
+  a_decisions : string list;
+}
+
+let reaction_g = Obs.Metrics.gauge "adapt.reaction_ticks"
+
+let pp_reaction_result ppf r =
+  Format.fprintf ppf
+    "kv-EBR   adapt-reaction shifts=%d reactions=[%s] worst=%d peak=%d steady=%d"
+    r.a_shifts
+    (String.concat ";" (List.map string_of_int (List.rev r.a_reactions)))
+    r.a_worst r.a_peak_backlog r.a_steady_peak
+
+let measure_adapt_reaction ?(ticks = 2400) ?(hot_keys = 256) ?(shift_ticks = 800)
+    ?(ttl = 32) ?(sweep_every = 8) ?(per_tick = 8) ?(seed = 42) () =
+  let name, (module K : Kv_intf.S) =
+    match Instances.find_kv "EBR" with
+    | Some inst -> inst
+    | None -> invalid_arg "measure_adapt_reaction: no EBR KV instance"
+  in
+  ignore name;
+  let metrics_were = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled true;
+  let t = K.create ~shards:1 ~buckets:64 ~epoch_freq:1 ~max_threads:2 () in
+  let c = K.ctx t 1 in
+  let kg =
+    Keygen.create ~seed ~range:16_384
+      (Keygen.Hotspot
+         { hot_keys; hot_pct = 100; shift_every = shift_ticks * per_tick })
+  in
+  (* Thresholds sized so a steady phase never fires the pressure
+     policy but one expired hot set always does. The sweep that claims
+     an expired hot set drains most of its own burst as it goes (the
+     retire path ejects every cleanup batch), so the observable spike
+     tops out well under [hot_keys]; 3/8 of the hot set sits between
+     the steady-churn plateau and that post-sweep residue. *)
+  let config =
+    {
+      Adapt.Controller.default_config with
+      Adapt.Controller.backlog_high = 3 * hot_keys / 8;
+      backlog_low = hot_keys / 16;
+    }
+  in
+  let ctl = Adapt.Controller.create ~config (K.shard_control t ~shard:0) in
+  let seen_shifts = ref 0 in
+  let pending_shift = ref None in
+  let last_shift = ref min_int in
+  let reactions = ref [] in
+  let peak = ref 0 in
+  let steady_peak = ref 0 in
+  for tick = 1 to ticks do
+    let now = K.tick t in
+    for _ = 1 to per_tick do
+      ignore (K.put c ~now ~ttl (Keygen.next kg) tick)
+    done;
+    if Keygen.shifts kg > !seen_shifts then begin
+      seen_shifts := Keygen.shifts kg;
+      (* A shift during an unfinished measurement restarts the clock:
+         the controller has yet to react to any phase change. *)
+      pending_shift := Some tick;
+      last_shift := tick
+    end;
+    if tick mod sweep_every = 0 then ignore (K.expire_sweep c ~now);
+    let backlog = K.shard_backlog t ~shard:0 in
+    peak := max !peak backlog;
+    if tick - !last_shift > 2 * (ttl + sweep_every) then
+      steady_peak := max !steady_peak backlog;
+    let actions =
+      Adapt.Controller.observe ctl
+        { Adapt.Controller.backlog; p99 = None; stalled = false }
+    in
+    match !pending_shift with
+    | Some t0 when List.mem Adapt.Controller.Force_advance actions ->
+        let dt = tick - t0 in
+        reactions := dt :: !reactions;
+        Obs.Metrics.set_gauge reaction_g dt;
+        pending_shift := None
+    | _ -> ()
+  done;
+  K.flush c;
+  K.teardown t;
+  Obs.Metrics.set_enabled metrics_were;
+  {
+    a_shifts = !seen_shifts;
+    a_reactions = !reactions;
+    a_worst = List.fold_left max (-1) !reactions;
+    a_peak_backlog = !peak;
+    a_steady_peak = !steady_peak;
+    a_decisions = Adapt.Controller.decisions ctl;
+  }
 
 (* ================================================================= *)
 (* Stalled-shard fault scenario: deterministic single-thread replay,

@@ -444,6 +444,20 @@ module Make (R : Cdrc.Intf.S) : Kv_intf.S = struct
 
   let flush c = Array.iter R.flush c.ths
 
+  (* Recovery drill helper: eagerly eject one shard's runtime from the
+     caller's handle until its backlog stops shrinking — after an
+     [abandon_shard] this adopts and drains the dead pid's parked
+     retirements. Multiple passes because each eject can unlock the
+     next (deferred decrements cascade through the RC graph). *)
+  let drain_shard c ~shard =
+    let backlog () = R.retired_backlog c.t.shards.(shard).rt in
+    let rec go prev =
+      R.flush c.ths.(shard);
+      let b = backlog () in
+      if b > 0 && b < prev then go b
+    in
+    go max_int
+
   (* ------------------------------------------------------------------ *)
   (* Accounting and observability *)
 

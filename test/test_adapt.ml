@@ -289,6 +289,51 @@ let knob_gauges_track_values () =
   Alcotest.(check int) "setter updates the accessor" 33 (Smr.Knobs.batch_cap k)
 
 (* ------------------------------------------------------------------ *)
+(* Reaction latency to a hotspot phase shift (ROADMAP item 5): after a
+   hot-set migration, the abandoned phase expires and the sweep's
+   retirement burst must reach the controller within a bounded number
+   of ticks. The pipeline is expiry (ttl=32) + sweep cadence (8) +
+   one controller tick, so 64 is a comfortable but meaningful bound —
+   a controller that only notices pressure an epoch later blows it. *)
+
+let reaction_latency_bounded () =
+  let r = Workload.Kv_runner.measure_adapt_reaction () in
+  Alcotest.(check bool) "at least two phase shifts occurred" true (r.a_shifts >= 2);
+  Alcotest.(check bool)
+    (Printf.sprintf "every shift measured (got %d of %d)"
+       (List.length r.a_reactions) r.a_shifts)
+    true
+    (List.length r.a_reactions >= 2);
+  List.iter
+    (fun dt ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reaction %d ticks <= 64" dt)
+        true (dt <= 64))
+    r.a_reactions;
+  (* The burst really happened: the post-shift peak clears the trip
+     threshold (3/8 of the 256-key hot set) while the steady-state
+     trickle stays below it — the reactions measure a real signal. *)
+  Alcotest.(check bool) "retirement burst reached backlog_high" true
+    (r.a_peak_backlog >= 96);
+  Alcotest.(check bool)
+    (Printf.sprintf "steady trickle %d below backlog_high" r.a_steady_peak)
+    true
+    (r.a_steady_peak < 96)
+
+let reaction_gauge_recorded () =
+  let was = Obs.Metrics.enabled () in
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Metrics.set_enabled was) @@ fun () ->
+  let r = Workload.Kv_runner.measure_adapt_reaction () in
+  let g = Obs.Metrics.gauge_value (Obs.Metrics.gauge "adapt.reaction_ticks") in
+  Alcotest.(check bool) "gauge holds the last measured reaction" true
+    (match r.a_reactions with last :: _ -> g = last | [] -> false)
+
+let reaction_replays_bit_identically () =
+  let a = Workload.Kv_runner.measure_adapt_reaction () in
+  let b = Workload.Kv_runner.measure_adapt_reaction () in
+  Alcotest.(check (list int)) "same reaction sequence" a.a_reactions b.a_reactions;
+  Alcotest.(check int) "same peak" a.a_peak_backlog b.a_peak_backlog
 
 let () =
   Alcotest.run "adapt"
@@ -316,6 +361,15 @@ let () =
             adaptivity_replays_bit_identically;
           Alcotest.test_case "bounded vs unbounded garbage" `Quick
             adaptivity_bounds_garbage;
+        ] );
+      ( "reaction",
+        [
+          Alcotest.test_case "phase-shift reaction latency bounded" `Quick
+            reaction_latency_bounded;
+          Alcotest.test_case "adapt.reaction_ticks gauge recorded" `Quick
+            reaction_gauge_recorded;
+          Alcotest.test_case "reaction probe replays bit-identically" `Quick
+            reaction_replays_bit_identically;
         ] );
       ( "knobs",
         [

@@ -94,6 +94,42 @@ let test_plan_crash_permanent () =
   Alcotest.(check bool) "other pids unaffected" true
     (FP.hit plan On_alloc ~pid:0 = None && not (FP.crashed plan ~pid:0))
 
+let test_plan_slow_persists_and_heals () =
+  (* Slow is persistent gray failure: the factor sticks from the firing
+     hit until heal, never stalls or kills the pid, and replays
+     deterministically (it is plain plan state, like crash). *)
+  let mk () =
+    FP.create
+      [ { FP.site = On_begin_cs; pid = Some 1; at = 2; action = Slow { factor = 5 } } ]
+  in
+  let plan = mk () in
+  Alcotest.(check int) "healthy before" 0 (FP.slow_factor plan ~pid:1);
+  Alcotest.(check bool) "1st hit quiet" true (FP.hit plan On_begin_cs ~pid:1 = None);
+  Alcotest.(check bool) "2nd hit fires" true
+    (FP.hit plan On_begin_cs ~pid:1 = Some (FP.Slow { factor = 5 }));
+  Alcotest.(check int) "factor set" 5 (FP.slow_factor plan ~pid:1);
+  Alcotest.(check bool) "not stalled" false (FP.stalled plan ~pid:1);
+  Alcotest.(check bool) "not crashed" false (FP.crashed plan ~pid:1);
+  ignore (FP.hit plan On_retire ~pid:1);
+  Alcotest.(check int) "persists across hits" 5 (FP.slow_factor plan ~pid:1);
+  Alcotest.(check int) "other pids healthy" 0 (FP.slow_factor plan ~pid:0);
+  FP.heal plan ~pid:1;
+  Alcotest.(check int) "heal clears it" 0 (FP.slow_factor plan ~pid:1);
+  (* Replay determinism: an identical plan driven by the same hit
+     sequence produces the identical trace. *)
+  let drive p =
+    ignore (FP.hit p On_begin_cs ~pid:1);
+    ignore (FP.hit p On_begin_cs ~pid:1);
+    ignore (FP.hit p On_retire ~pid:1);
+    FP.trace p
+  in
+  Alcotest.(check bool) "bit-identical replay" true (drive (mk ()) = drive (mk ()));
+  Alcotest.check_raises "factor < 1 rejected"
+    (Invalid_argument "Fault_plan.create: slow factors start at 1") (fun () ->
+      ignore
+        (FP.create
+           [ { FP.site = On_retire; pid = None; at = 1; action = Slow { factor = 0 } } ]))
+
 let test_plan_drop_budget () =
   let plan =
     FP.create [ { FP.site = On_eject; pid = Some 0; at = 1; action = Drop_eject 3 } ]
@@ -103,6 +139,34 @@ let test_plan_drop_budget () =
   Alcotest.(check int) "capped by avail" 2 (FP.take_drops plan ~pid:0 ~avail:2);
   Alcotest.(check int) "remainder" 1 (FP.take_drops plan ~pid:0 ~avail:5);
   Alcotest.(check int) "exhausted" 0 (FP.take_drops plan ~pid:0 ~avail:5)
+
+(* A gray-failed (Slow) thread is degraded but alive: unlike Stall, it
+   keeps completing operations and releasing protection, so reclamation
+   is never blocked behind it. *)
+let test_slow_thread_stays_live () =
+  let plan =
+    FP.create
+      [ { FP.site = On_begin_cs; pid = Some 0; at = 1; action = Slow { factor = 8 } } ]
+  in
+  let module FS =
+    Fault.Faulty_smr.Make
+      (Smr.Ebr)
+      (struct
+        let plan = plan
+      end)
+  in
+  let s = FS.create ~epoch_freq:1 ~cleanup_freq:1 ~max_threads:1 () in
+  let freed = ref 0 in
+  for i = 1 to 100 do
+    FS.begin_critical_section s ~pid:0;
+    let birth = FS.alloc_hook s ~pid:0 in
+    FS.retire s ~pid:0 (Ident.of_val (ref i)) ~birth (fun _ -> incr freed);
+    FS.end_critical_section s ~pid:0;
+    List.iter (fun op -> op 0) (FS.eject ~force:true s ~pid:0)
+  done;
+  Alcotest.(check int) "slow pid factor live" 8 (FP.slow_factor plan ~pid:0);
+  Alcotest.(check bool) "never stalled" false (FP.stalled plan ~pid:0);
+  Alcotest.(check bool) "reclamation kept up" true (!freed >= 99)
 
 (* --------------- stalled thread: bounded vs unbounded ------------- *)
 
@@ -322,7 +386,10 @@ let () =
           Alcotest.test_case "stall forever / resume" `Quick
             test_plan_stall_forever_and_resume;
           Alcotest.test_case "crash permanent" `Quick test_plan_crash_permanent;
+          Alcotest.test_case "slow persists / heals" `Quick
+            test_plan_slow_persists_and_heals;
           Alcotest.test_case "drop budget" `Quick test_plan_drop_budget;
+          Alcotest.test_case "slow thread stays live" `Quick test_slow_thread_stays_live;
         ] );
       ( "stalled-backlog",
         List.map

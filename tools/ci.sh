@@ -78,6 +78,31 @@ if dune exec bin/cdrc_bench.exe -- kv --fault stalled-shard --iters 1200 --bound
   exit 1
 fi
 
+echo "== chaos campaign smoke (mixed + rolling-crash, EBR + HP) =="
+# Deterministic seeded chaos campaigns (DESIGN.md §13): every safety
+# oracle (UAF/double-free freedom, accounting with crash slack, bounded
+# garbage, recovery SLO, leak freedom) must hold; a failure prints the
+# replayable schedule and exits 1.
+dune exec bin/cdrc_bench.exe -- chaos --campaign mixed --schemes EBR,HP --validate
+dune exec bin/cdrc_bench.exe -- chaos --campaign rolling-crash --schemes EBR,HP --validate
+
+echo "== chaos recovery gate (breaker must carry the stall storm) =="
+# The graceful-degradation contract, inverted and straight: a stall
+# storm on EBR with the breaker disabled must blow the backlog bound
+# (exit 1) — and the identical campaign with the breaker on must pass.
+if dune exec bin/cdrc_bench.exe -- chaos --campaign stall-storm --breaker off \
+    --schemes EBR --steps 6000 --write-pct 60 --bound 256 >/dev/null 2>&1; then
+  echo "error: breaker-off stall storm passed — the chaos gate no longer gates" >&2
+  exit 1
+fi
+dune exec bin/cdrc_bench.exe -- chaos --campaign stall-storm --breaker on \
+  --schemes EBR --steps 6000 --write-pct 60 --bound 256
+
+echo "== telemetry smoke (chaos) =="
+# The chaos arm of stats: breaker/retry/shed metrics must be present
+# and nonzero, and the exported trace must parse.
+dune exec bin/cdrc_bench.exe -- stats chaos --schemes EBR,HP --check
+
 echo "== perf trajectory gate (committed points) =="
 # Compare the two most recent committed BENCH_PR<N>.json trajectory
 # points directly. This comparison is deterministic (two fixed files),
