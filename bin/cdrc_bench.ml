@@ -648,12 +648,24 @@ let explore_cmd =
             "Replay one schedule instead of exploring; TRACE is the printed fiber-index \
              list, e.g. '[0;1;1;0]' or '0,1,1,0'.")
   in
-  let run list target mode seed iters preemptions depth max_steps replay =
+  let sanitize_arg =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Use the sanitized target registry (DESIGN.md §14): every explored schedule \
+             is checked by the happens-before race & pointer-lifetime monitor; \
+             violations name the two racing operations and print a replayable \
+             schedule.")
+  in
+  let run list sanitize target mode seed iters preemptions depth max_steps replay =
+    let registry = if sanitize then Explore.san_targets else Explore.targets in
+    let find = if sanitize then Explore.find_san else Explore.find in
     if list then begin
       List.iter
         (fun t ->
-          Format.printf "%-22s %s@." t.Explore.t_name t.Explore.t_doc)
-        Explore.targets;
+          Format.printf "%-26s %s@." t.Explore.t_name t.Explore.t_doc)
+        registry;
       exit 0
     end;
     match target with
@@ -661,9 +673,10 @@ let explore_cmd =
         Format.eprintf "explore: a TARGET is required (try --list)@.";
         exit 2
     | Some name -> (
-        match Explore.find name with
+        match find name with
         | None ->
-            Format.eprintf "explore: unknown target %S (try --list)@." name;
+            Format.eprintf "explore: unknown target %S (try --list%s)@." name
+              (if sanitize then " --sanitize" else "");
             exit 2
         | Some t ->
             let replay =
@@ -671,8 +684,8 @@ let explore_cmd =
               | None -> None
               | Some s -> (
                   try Some (Sched.trace_of_string s)
-                  with _ ->
-                    Format.eprintf "explore: cannot parse trace %S@." s;
+                  with Invalid_argument m ->
+                    Format.eprintf "explore: %s@." m;
                     exit 2)
             in
             let r =
@@ -687,8 +700,8 @@ let explore_cmd =
          "Deterministic schedule exploration of the lock-free cores (sticky counter, \
           acquire-retire slots, CDRC weak upgrade); failures print a replayable schedule")
     Term.(
-      const run $ list_arg $ target_arg $ mode_arg $ seed_arg $ iters_arg $ preempt_arg
-      $ depth_arg $ max_steps_arg $ replay_arg)
+      const run $ list_arg $ sanitize_arg $ target_arg $ mode_arg $ seed_arg $ iters_arg
+      $ preempt_arg $ depth_arg $ max_steps_arg $ replay_arg)
 
 let () =
   let info =

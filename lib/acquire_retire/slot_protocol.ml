@@ -32,6 +32,12 @@ module Make (A : Sched.ATOMIC) = struct
        This is the classic hazard-pointer validation-elision bug; the
        explorer must find the use-after-free it opens. *)
     mutation_skip_validate : bool ref;
+    (* Mutation for the sanitizer (ISSUE 10): drop the announcement
+       write entirely — the guard is bookkept locally but the slot
+       never carries the ident, so eject cannot see the reader. The
+       settle loop must be skipped too (confirm would re-point the slot
+       on mismatch, silently repairing the dropped write). *)
+    mutation_drop_acquire : bool ref;
   }
 
   let create ?(slots_per_thread = 2) ~max_threads () =
@@ -44,6 +50,7 @@ module Make (A : Sched.ATOMIC) = struct
       nthreads = max_threads;
       slots_per_thread;
       mutation_skip_validate = ref false;
+      mutation_drop_acquire = ref false;
     }
 
   let free_slot t ~pid =
@@ -61,7 +68,7 @@ module Make (A : Sched.ATOMIC) = struct
     | None -> invalid_arg "Slot_protocol.acquire: out of announcement slots"
     | Some i ->
         t.in_use.(pid).(i) <- true;
-        A.set t.slots.(pid).(i) ident;
+        if not !(t.mutation_drop_acquire) then A.set t.slots.(pid).(i) ident;
         { g_pid = pid; g_slot = i }
 
   (** [confirm t ~pid g ident] where [ident] is a {e re-read} of the
@@ -75,6 +82,11 @@ module Make (A : Sched.ATOMIC) = struct
       false
     end
 
+  (** What [g]'s slot actually announces right now (0 = nothing). The
+      sanitizer reads this back instead of trusting the guard value, so
+      a dropped announcement write is visible as the absence it is. *)
+  let announcement t g = A.get t.slots.(g.g_pid).(g.g_slot)
+
   let release t ~pid:_ g =
     A.set t.slots.(g.g_pid).(g.g_slot) 0;
     t.in_use.(g.g_pid).(g.g_slot) <- false
@@ -85,7 +97,7 @@ module Make (A : Sched.ATOMIC) = struct
   let protect_read t ~pid ~(read : unit -> int) =
     let v0 = read () in
     let g = acquire t ~pid v0 in
-    if !(t.mutation_skip_validate) then (v0, g)
+    if !(t.mutation_skip_validate) || !(t.mutation_drop_acquire) then (v0, g)
     else begin
       let rec settle () =
         let v = read () in

@@ -1,0 +1,34 @@
+(** Vector clocks for the happens-before engine (DESIGN.md §14).
+
+    A clock is one int per context: indices [0 .. n-1] are the n fibers
+    of a scenario, index [n] is the setup/oracle context (code running
+    outside any fiber). Plain int arrays — the sanitizer runs one
+    schedule at a time on one domain, so no synchronization is needed,
+    and the engine copies defensively at the two places a snapshot
+    escapes (release into a location clock, recorded deref). *)
+
+type t = int array
+
+let make n = Array.make n 0
+let copy = Array.copy
+let size = Array.length
+
+let tick (c : t) i = c.(i) <- c.(i) + 1
+let get (c : t) i = c.(i)
+
+(* [join a b] folds [b] into [a] pointwise (FastTrack's acquire). *)
+let join (a : t) (b : t) =
+  for i = 0 to Array.length a - 1 do
+    if b.(i) > a.(i) then a.(i) <- b.(i)
+  done
+
+let leq (a : t) (b : t) =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+let pp ppf (c : t) =
+  Format.fprintf ppf "<%s>"
+    (String.concat "," (Array.to_list (Array.map string_of_int c)))
+
+let to_string c = Format.asprintf "%a" pp c

@@ -1,0 +1,29 @@
+(** Vector clocks for the happens-before engine (DESIGN.md §14).
+
+    One int per context; contexts [0 .. n-1] are fibers, context [n]
+    is the setup/oracle context. Mutable — [tick] and [join] update in
+    place; use [copy] where a snapshot must not alias. *)
+
+type t
+
+val make : int -> t
+(** [make n] is the all-zero clock over [n] contexts. *)
+
+val copy : t -> t
+val size : t -> int
+
+val tick : t -> int -> unit
+(** [tick c i] increments component [i] (a local step of context [i]). *)
+
+val get : t -> int -> int
+
+val join : t -> t -> unit
+(** [join a b] sets [a] to the pointwise max of [a] and [b] — the
+    acquire half of a synchronization edge. *)
+
+val leq : t -> t -> bool
+(** Pointwise [<=]: [leq a b] means every event summarized by [a]
+    happens-before (or is) the frontier of [b]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

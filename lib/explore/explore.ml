@@ -4,6 +4,7 @@
     and [Sched] for the explorers. *)
 
 module Scenarios = Scenarios
+module San_scenarios = San_scenarios
 
 type target = {
   t_name : string;
@@ -62,6 +63,54 @@ let targets =
   ]
 
 let find name = List.find_opt (fun t -> t.t_name = name) targets
+
+(* Sanitized targets ([cdrc-bench explore --sanitize], DESIGN.md §14):
+   the same kernels wrapped so an [Analysis.Race_monitor] checks each
+   explored schedule for lifetime-rule violations. The clean targets
+   assert zero false positives under exhaustive DFS; the MUTANT targets
+   carry seeded protocol bugs the sanitizer must catch, naming the two
+   racing operations. *)
+let san_targets =
+  [
+    {
+      t_name = "san-slots";
+      t_doc = "sanitized announcement slots: reader vs retire+eject, zero violations (Fig 2)";
+      t_mk = (fun () -> San_scenarios.san_slots ());
+      t_expect_fail = false;
+    };
+    {
+      t_name = "san-slots-drop-acquire";
+      t_doc = "MUTANT: the announcement write is dropped; the unprotected access must be caught";
+      t_mk = (fun () -> San_scenarios.san_slots ~mutate:true ());
+      t_expect_fail = true;
+    };
+    {
+      t_name = "san-handoff";
+      t_doc = "sanitized ownership hand-off: deref ordered before free by the ack edge";
+      t_mk = (fun () -> San_scenarios.san_handoff ());
+      t_expect_fail = false;
+    };
+    {
+      t_name = "san-handoff-retire-early";
+      t_doc = "MUTANT: retire+free reordered before the hand-off; the racing deref must be caught";
+      t_mk = (fun () -> San_scenarios.san_handoff ~mutate:true ());
+      t_expect_fail = true;
+    };
+    {
+      t_name = "san-weak-upgrade";
+      t_doc = "sanitized CDRC strong-counter ledger: upgrades and drops balance exactly (Figs 8-9)";
+      t_mk = (fun () -> San_scenarios.san_weak_upgrade ());
+      t_expect_fail = false;
+    };
+    {
+      t_name = "san-rc-extra-dec";
+      t_doc = "MUTANT: one fiber drops its strong reference twice; the ledger must flag it";
+      t_mk = (fun () -> San_scenarios.san_weak_upgrade ~mutate:true ());
+      t_expect_fail = true;
+    };
+  ]
+
+let find_san name = List.find_opt (fun t -> t.t_name = name) san_targets
 
 type mode = Dfs | Pct | Random
 

@@ -1,0 +1,219 @@
+(* Sanitized schedule-exploration scenarios (DESIGN.md §14): the same
+   lock-free kernels as {!Scenarios}, wrapped so every protocol event —
+   block registration, guard announcement, deref, retire, free,
+   reference-count traffic — is reported to an
+   [Analysis.Race_monitor]. The monitor also taps every [Sched.Traced]
+   atomic op (via the tracer hook its [create] installs), so it knows
+   the happens-before structure of the schedule being executed and can
+   name the two racing operations the moment a lifetime rule breaks.
+
+   Each builder creates a fresh monitor per [mk ()] call; the
+   controller clears the tracer hook when the run finishes, so monitors
+   never leak across schedules. *)
+
+module Slots_t = Acquire_retire.Slot_protocol.Make (Sched.Traced)
+module Cell_t = Cdrc.Rc_cell.Make (Sched.Traced)
+module Mon = Analysis.Race_monitor
+module T = Sched.Traced
+
+(* ------------------------------------------------------------------ *)
+(* Announcement slots under the sanitizer (Fig 2) *)
+
+(** {!Scenarios.slots_reclaim} with the monitor watching: the reader
+    reports its guard {e as the slot actually stands} (read back via
+    [Slot_protocol.announcement] — a dropped announcement write must
+    not earn phantom coverage) and its deref; the reclaimer reports
+    retire and free. Clean runs are violation-free: a deref of the
+    retired-but-announced block is covered by the guard (rule a), and
+    the slot-release write → eject-scan read edge orders every deref
+    before the free (rule b). With [mutate] the announcement write in
+    [acquire] is dropped (and the settle loop skipped, since [confirm]
+    would silently repair the slot): eject can no longer see the
+    reader, and the sanitizer must catch the unprotected access — as a
+    racing deref-vs-retire or an unordered deref-vs-free pair. *)
+let san_slots ?(mutate = false) () : Sched.scenario =
+  let mon = Mon.create ~fibers:2 () in
+  let heap = Simheap.create ~name:"san-slots" () in
+  let b1 = Simheap.alloc heap and b2 = Simheap.alloc heap in
+  Mon.register mon ~ident:1;
+  Mon.register mon ~ident:2;
+  let block_of = function
+    | 1 -> b1
+    | 2 -> b2
+    | id -> failwith (Printf.sprintf "unknown ident %d" id)
+  in
+  let proto = Slots_t.create ~max_threads:2 () in
+  proto.Slots_t.mutation_drop_acquire := mutate;
+  let loc = T.make 1 in
+  {
+    Sched.fibers =
+      [|
+        (fun () ->
+          let v, g = Slots_t.protect_read proto ~pid:0 ~read:(fun () -> T.get loc) in
+          (* Report the announcement as it actually stands: only a slot
+             that really carries [v] holds eject back. *)
+          if Slots_t.announcement proto g = v then Mon.acquire mon ~ident:v;
+          Mon.deref mon ~ident:v;
+          Simheap.check_live (block_of v);
+          Mon.release mon ~ident:v;
+          Slots_t.release proto ~pid:0 g);
+        (fun () ->
+          T.set loc 2;
+          Mon.retire mon ~ident:1;
+          Slots_t.retire proto ~pid:1 1 (fun () ->
+              Mon.free mon ~ident:1;
+              Simheap.free b1);
+          ignore (Slots_t.eject proto ~pid:1));
+      |];
+    check =
+      (fun () ->
+        (* The reader has released: a final eject must reclaim node 1
+           (the free event lands in the oracle context, which follows
+           every fiber — ordered by construction). *)
+        ignore (Slots_t.eject proto ~pid:1);
+        Mon.check mon;
+        let live = Simheap.live heap in
+        if live <> 1 then
+          failwith (Printf.sprintf "post-run live blocks: expected 1 (node 2), got %d" live));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Ownership hand-off (the *_manual transfer idiom) *)
+
+(** Ownership transfer without guards, ordered purely by
+    happens-before — the idiom of the [*_manual] structures, where a
+    CAS unlink makes the unlinker the node's sole owner. The producer
+    unlinks node 1 from [shared] and hands it to the consumer through
+    an atomic [mailbox]; the consumer dereferences it and acknowledges
+    through [ack]; only after observing the ack does the producer
+    retire and free. Both sides poll boundedly (a fixed handful of
+    attempts), so every schedule terminates; unconsumed or unfreed
+    state is reclaimed by the oracle, whose events are ordered after
+    all fibers by construction.
+
+    Clean runs are violation-free: the consumer's deref is ordered
+    before the free by the [ack] write → read edge. With [mutate] the
+    producer retires {e before} the hand-off — and frees immediately,
+    never waiting for the ack: any schedule in which the consumer
+    receives the node trips the sanitizer, either as a use-after-free
+    deref (rule a) or as a deref not ordered before the free
+    (rule b). *)
+let san_handoff ?(mutate = false) () : Sched.scenario =
+  let mon = Mon.create ~fibers:2 () in
+  let heap = Simheap.create ~name:"san-handoff" () in
+  let b1 = Simheap.alloc heap in
+  Mon.register mon ~ident:1;
+  let shared = T.make 1 in
+  let mailbox = T.make 0 in
+  let ack = T.make 0 in
+  let free_node () =
+    Mon.free mon ~ident:1;
+    Simheap.free b1
+  in
+  let producer () =
+    let v = T.exchange shared 0 in
+    if v <> 0 then
+      if mutate then begin
+        (* BUG under test: retire + free reordered before the hand-off. *)
+        Mon.retire mon ~ident:v;
+        free_node ();
+        T.set mailbox v
+      end
+      else begin
+        T.set mailbox v;
+        let rec poll k =
+          if k = 0 then false
+          else if T.get ack = 1 then true
+          else poll (k - 1)
+        in
+        if poll 3 then begin
+          Mon.retire mon ~ident:v;
+          free_node ()
+        end
+      end
+  in
+  let consumer () =
+    let rec take k =
+      if k = 0 then 0
+      else
+        let v = T.exchange mailbox 0 in
+        if v <> 0 then v else take (k - 1)
+    in
+    match take 3 with
+    | 0 -> ()
+    | v ->
+        Mon.deref mon ~ident:v;
+        Simheap.check_live b1;
+        T.set ack 1
+  in
+  {
+    Sched.fibers = [| producer; consumer |];
+    check =
+      (fun () ->
+        Mon.check mon;
+        (* Quiesce: whatever survived the bounded polls is reclaimed
+           here, in the oracle context. *)
+        if Simheap.is_live b1 then free_node ();
+        if Simheap.live heap <> 0 then
+          failwith (Printf.sprintf "leak: %d block(s) never freed" (Simheap.live heap)));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* CDRC strong counter ledger (Figs 8–9) *)
+
+(** {!Scenarios.weak_upgrade} with the strong counter's traffic fed to
+    the monitor's reference-count ledger (rule c): every successful
+    upgrade reports an increment, every strong decrement reports
+    itself and whether it took the death credit. Clean runs balance
+    exactly; with [mutate] the first fiber drops its strong reference
+    {e twice} — the classic double-decrement — and the ledger must
+    flag the duplicated decrement (or duplicated death credit) at the
+    offending operation. *)
+let san_weak_upgrade ?(mutate = false) () : Sched.scenario =
+  let mon = Mon.create ~fibers:2 () in
+  let heap = Simheap.create ~name:"san-weak" () in
+  let block = Simheap.alloc heap in
+  let cell = Cell_t.make 42 in
+  let cell_id = 1 in
+  Mon.rc_register mon ~ident:cell_id ~count:1;
+  if not (Cell_t.weak_increment_if_not_zero cell) then failwith "setup weak_increment";
+  let drop_strong () =
+    let death = Cell_t.strong_decrement cell in
+    Mon.rc_decr mon ~ident:cell_id ~death;
+    if death then begin
+      (match Cell_t.take cell with
+      | Some _ -> ()
+      | None -> failwith "double dispose");
+      if Cell_t.weak_decrement cell then Simheap.free block
+    end
+  in
+  let drop_weak () = if Cell_t.weak_decrement cell then Simheap.free block in
+  {
+    Sched.fibers =
+      [|
+        (fun () ->
+          drop_strong ();
+          (* BUG under test: a second drop of a reference this fiber no
+             longer owns. *)
+          if mutate then drop_strong ());
+        (fun () ->
+          if Cell_t.try_upgrade cell then begin
+            Mon.rc_incr mon ~ident:cell_id;
+            (match Cell_t.read cell with
+            | Some _ -> ()
+            | None -> failwith "successful upgrade observed a disposed value");
+            Simheap.check_live block;
+            drop_strong ()
+          end;
+          drop_weak ());
+      |];
+    check =
+      (fun () ->
+        Mon.check mon;
+        if Simheap.live heap <> 0 then
+          failwith
+            (Printf.sprintf "leak: %d control block(s) never freed" (Simheap.live heap));
+        let s = Cell_t.strong_count cell and w = Cell_t.weak_count cell in
+        if s <> 0 || w <> 0 then
+          failwith (Printf.sprintf "final counts: strong=%d weak=%d (expected 0/0)" s w));
+  }

@@ -1,0 +1,30 @@
+(** Sanitized schedule-exploration scenarios (DESIGN.md §14): the same
+    lock-free kernels as {!Scenarios}, wrapped so every protocol event
+    — block registration, guard announcement, deref, retire, free,
+    reference-count traffic — is reported to an
+    [Analysis.Race_monitor]. The monitor also taps every
+    [Sched.Traced] atomic op, so it knows the happens-before structure
+    of the schedule being executed and names the two racing operations
+    the moment a lifetime rule breaks.
+
+    Each builder creates a fresh monitor per [mk ()] call; the
+    scheduler clears the tracer hook when the run finishes, so
+    monitors never leak across schedules. With [?mutate] set, each
+    builder seeds the protocol bug its registry entry documents. *)
+
+val san_slots : ?mutate:bool -> unit -> Sched.scenario
+(** Announcement slots under the sanitizer (Fig 2): clean runs are
+    violation-free; [mutate] drops the announcement write in [acquire]
+    (and the settle loop, which would repair it), so the unprotected
+    access must be caught. *)
+
+val san_handoff : ?mutate:bool -> unit -> Sched.scenario
+(** Ownership hand-off ordered purely by happens-before (the
+    [*_manual] transfer idiom): producer unlinks, mails the node,
+    waits for the ack, then retires and frees. [mutate] retires and
+    frees before the hand-off — the racing deref must be caught. *)
+
+val san_weak_upgrade : ?mutate:bool -> unit -> Sched.scenario
+(** CDRC strong-counter ledger (Figs 8-9): upgrades and drops must
+    balance exactly. [mutate] makes one fiber drop its strong
+    reference twice — the duplicated decrement must be flagged. *)

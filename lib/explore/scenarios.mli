@@ -1,0 +1,43 @@
+(** Schedule-exploration scenarios (DESIGN.md §8): the lock-free
+    kernels — sticky counter, announcement slots, CDRC weak upgrade —
+    instantiated over [Sched.Traced] and packaged as {!Sched.scenario}
+    values for the DFS/PCT/random explorers. Builders taking [?mutate]
+    produce, when set, a deliberately broken variant (a seeded protocol
+    bug) that exploration must catch; the functor instantiations and
+    per-scenario plumbing are internal. *)
+
+val sticky_one_death : ?mutate:bool -> domains:int -> ops:int -> unit -> Sched.scenario
+(** [domains] fibers each run [ops] paired increment/decrement bursts;
+    the check asserts exactly one death credit was granted (Fig 7).
+    [mutate] drops the zero-confirmation re-read. *)
+
+val sticky_load_vs_decrement : ?mutate:bool -> ?loads:int -> unit -> Sched.scenario
+(** Loads racing the killing decrement: the zero/help-flag dance.
+    [mutate] omits the help-flag publish, losing a death credit. *)
+
+(** Operation alphabet for the linearizability-style sticky harness. *)
+type sticky_op = Inc | Dec | Load
+
+val pp_sticky_op : Format.formatter -> sticky_op -> unit
+
+val sticky_model : int -> sticky_op -> int * int
+(** Sequential specification: [sticky_model count op] returns the next
+    count and the op's observed result ([Load] sees the count; [Inc]
+    and [Dec] report the count they produced). *)
+
+val sticky_lincheck : ?mutate:bool -> seqs:sticky_op list array -> unit -> Sched.scenario
+(** Run one fixed op sequence per fiber and check the concurrent
+    history against {!sticky_model} over all linearizations. *)
+
+val slots_reclaim : ?mutate:bool -> unit -> Sched.scenario
+(** Acquire-retire announcement slots: a protected reader races
+    retire+eject; no use-after-free (Fig 2). [mutate] skips the
+    confirm re-read, the classic protect bug. *)
+
+val weak_upgrade : unit -> Sched.scenario
+(** CDRC weak upgrade vs the final strong drop: dispose exactly once,
+    free exactly once (Figs 8-9). *)
+
+val racy_counter : unit -> Sched.scenario
+(** Harness self-check: a deliberately racy read-modify-write whose
+    lost update MUST be found by exploration. *)

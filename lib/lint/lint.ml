@@ -46,6 +46,15 @@ let rules : (string * string) list =
       "knob-capture: scheme code must read tuning knobs through Knobs.t accessors, never \
        store them in its own record fields — a captured constant is invisible to the \
        adaptive controller" );
+    ( "R8",
+      "guard-escape: a guard obtained from an acquire-family call must not escape its \
+       protection scope — not stored in a non-local ref or mutable field, not packed \
+       into a returned record/tuple, not captured by a closure except as a \
+       release-family argument" );
+    ( "R9",
+      "use-after-retire: a pointer passed to retire (directly or through a summarized \
+       helper that retires its parameter) must not be used on any subsequent path in \
+       the function" );
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -647,8 +656,528 @@ let run_r7 ctx st =
   it#structure st
 
 (* ------------------------------------------------------------------ *)
-(* Engine                                                              *)
+(* R8: guard-escape                                                    *)
 (* ------------------------------------------------------------------ *)
+
+(* Interprocedural life-cycle rule 1 (Meyer–Wolff's guard scoping as a
+   syntactic check): a guard value let-bound from an acquire-family
+   call is *tainted*; it must die inside its function. Escape shapes:
+
+   - assigned into a ref that is NOT let-bound to [ref ...] in the same
+     function (a local ref is the legal hand-over-hand idiom — see
+     nm_tree's seek — because it cannot outlive the frame);
+   - stored into a mutable record field ([x.f <- ... g ...]);
+   - packed into a record literal (a cursor that outlives the scope);
+   - returned in tail position (bare, or inside a tuple/construct);
+   - captured by a closure, unless every mention inside the closure is
+     an argument of a release-family call (the [Fun.protect
+     ~finally:(fun () -> release t g)] finalizer idiom).
+
+   Taint is deliberately narrow: only [let]-bound variables whose name
+   looks like a guard ([g], [g_*], [g<digit/letter>], [guard*]) and
+   whose right-hand side *is* an acquire-family application. Guards
+   bound by match patterns ([Some g -> ...]) are the caller's problem
+   at the binding site that produced them, and functions that exist to
+   construct guards (protect*/acquire* by name, as in R2) are exempt. *)
+
+let guardish_name n =
+  let ln = String.lowercase_ascii n in
+  String.equal ln "g"
+  || (String.length ln >= 2 && ln.[0] = 'g' && (ln.[1] = '_' || String.length ln <= 3))
+  || (String.length ln >= 5 && String.sub ln 0 5 = "guard")
+
+let is_acquire_apply e =
+  match apply_head e with Some path -> is_family acquire_names path | None -> false
+
+let pat_vars p =
+  let acc = ref [] in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! pattern q =
+        (match q.ppat_desc with
+        | Ppat_var { txt; _ } -> acc := txt :: !acc
+        | Ppat_alias (_, { txt; _ }) -> acc := txt :: !acc
+        | _ -> ());
+        super#pattern q
+    end
+  in
+  it#pattern p;
+  !acc
+
+(* Tainted variables let-bound by [vbs]: guard-named vars (bare or in a
+   tuple pattern) whose RHS is an acquire-family application. *)
+let r8_taints_of vbs =
+  List.concat_map
+    (fun vb ->
+      if is_acquire_apply vb.pvb_expr then
+        List.filter guardish_name (pat_vars vb.pvb_pat)
+      else [])
+    vbs
+
+(* Local refs let-bound by [vbs]: [let r = ref ...]. *)
+let r8_refs_of vbs =
+  List.concat_map
+    (fun vb ->
+      match (vb.pvb_pat.ppat_desc, vb.pvb_expr.pexp_desc) with
+      | ( Ppat_var { txt; _ },
+          Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident "ref"; _ }; _ }, _) ) ->
+          [ txt ]
+      | _ -> [])
+    vbs
+
+let minus vars names = List.filter (fun v -> not (List.mem v names)) vars
+
+let param_pats params =
+  List.filter_map
+    (fun p ->
+      match p.pparam_desc with Pparam_val (_, _, pat) -> Some pat | Pparam_newtype _ -> None)
+    params
+
+let param_vars params = List.concat_map pat_vars (param_pats params)
+
+(* Does [e] mention a tainted guard at all — skipping release-family
+   call arguments when [skip_release], and respecting lambda-parameter
+   shadowing? *)
+let mentions_guard ~skip_release tainted e0 =
+  let found = ref false in
+  let rec make tainted =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        if !found || tainted = [] then ()
+        else
+          match e.pexp_desc with
+          | Pexp_ident { txt = Lident v; _ } when List.mem v tainted -> found := true
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+            when skip_release && is_family release_names (flat txt) ->
+              ()
+          | Pexp_function (params, _, fbody) -> (
+              let tainted = minus tainted (param_vars params) in
+              match fbody with
+              | Pfunction_body e' -> (make tainted)#expression e'
+              | Pfunction_cases (cases, _, _) ->
+                  List.iter
+                    (fun c ->
+                      (make (minus tainted (pat_vars c.pc_lhs)))#expression c.pc_rhs)
+                    cases)
+          | _ -> super#expression e
+    end
+  in
+  (make tainted)#expression e0;
+  !found
+
+(* A tainted ident reachable through pure data structure only:
+   tuples, constructs, variants, record fields. This is the "the guard
+   itself is in the returned value" test — calls are not structural, so
+   [loop g] or [release t g] never match. *)
+let rec structural_mention tainted e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Lident v; _ } -> List.mem v tainted
+  | Pexp_tuple es -> List.exists (structural_mention tainted) es
+  | Pexp_construct (_, Some e') | Pexp_variant (_, Some e') -> structural_mention tainted e'
+  | Pexp_record (fields, base) ->
+      List.exists (fun (_, e') -> structural_mention tainted e') fields
+      || (match base with Some b -> structural_mention tainted b | None -> false)
+  | Pexp_constraint (e', _) -> structural_mention tainted e'
+  | _ -> false
+
+let run_r8 ctx st =
+  (* Tail positions of a function body: where a structural mention of a
+     tainted guard means "returned to the caller". *)
+  let rec check_tail tainted e =
+    (* no empty-taint short-circuit: the top-level call starts empty
+       and only picks up taint at the [let]s it walks through *)
+    if allows "R8" e.pexp_attributes then ()
+    else
+      match e.pexp_desc with
+      | Pexp_function (params, _, Pfunction_body body) ->
+          check_tail (minus tainted (param_vars params)) body
+      | Pexp_function (params, _, Pfunction_cases (cases, _, _)) ->
+          let tainted = minus tainted (param_vars params) in
+          List.iter (fun c -> check_tail (minus tainted (pat_vars c.pc_lhs)) c.pc_rhs) cases
+      | Pexp_let (_, vbs, body) ->
+          let tainted = minus tainted (List.concat_map (fun vb -> pat_vars vb.pvb_pat) vbs) in
+          check_tail (tainted @ r8_taints_of vbs) body
+      | Pexp_sequence (_, e2) -> check_tail tainted e2
+      | Pexp_ifthenelse (_, t, eo) ->
+          check_tail tainted t;
+          Option.iter (check_tail tainted) eo
+      | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+          List.iter (fun c -> check_tail (minus tainted (pat_vars c.pc_lhs)) c.pc_rhs) cases
+      | Pexp_constraint (e', _) -> check_tail tainted e'
+      | Pexp_ident _ | Pexp_tuple _ | Pexp_construct _ | Pexp_variant _ ->
+          if structural_mention tainted e then
+            report ctx "R8" e.pexp_loc
+              "guard escapes its protection scope: returned from a non-constructor \
+               function — the protection interval must close before the frame does \
+               (release first, or name the function protect*/acquire* if it is a guard \
+               constructor)"
+      | _ -> ()
+  in
+  let walk_binding vb =
+    let it =
+      object (self)
+        inherit Ast_traverse.iter as super
+        val mutable tainted : string list = []
+        val mutable refs : string list = []
+
+        method! expression e =
+          if allows "R8" e.pexp_attributes then ()
+          else begin
+            let saved_t = tainted and saved_r = refs in
+            (match e.pexp_desc with
+            | Pexp_let (_, vbs, body) ->
+                List.iter (fun vb -> self#expression vb.pvb_expr) vbs;
+                let bound = List.concat_map (fun vb -> pat_vars vb.pvb_pat) vbs in
+                tainted <- minus tainted bound @ r8_taints_of vbs;
+                refs <- minus refs bound @ r8_refs_of vbs;
+                self#expression body
+            | Pexp_function (params, _, fbody) ->
+                let mentions =
+                  match fbody with
+                  | Pfunction_body e' -> mentions_guard ~skip_release:true tainted e'
+                  | Pfunction_cases (cases, _, _) ->
+                      List.exists
+                        (fun c -> mentions_guard ~skip_release:true tainted c.pc_rhs)
+                        cases
+                in
+                if mentions then
+                  report ctx "R8" e.pexp_loc
+                    "guard escapes its protection scope: captured by a closure (only \
+                     release-family calls may mention a guard from inside a closure — \
+                     the closure may run after the announcement is gone)";
+                tainted <- minus tainted (param_vars params);
+                (match fbody with
+                | Pfunction_body e' -> self#expression e'
+                | Pfunction_cases (cases, _, _) ->
+                    let t0 = tainted in
+                    List.iter
+                      (fun c ->
+                        tainted <- minus t0 (pat_vars c.pc_lhs);
+                        self#expression c.pc_rhs)
+                      cases)
+            | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+                self#expression scrut;
+                List.iter
+                  (fun c ->
+                    tainted <- minus saved_t (pat_vars c.pc_lhs);
+                    refs <- saved_r;
+                    Option.iter self#expression c.pc_guard;
+                    self#expression c.pc_rhs)
+                  cases
+            | Pexp_apply
+                ( { pexp_desc = Pexp_ident { txt = Lident ":="; _ }; _ },
+                  [ (_, { pexp_desc = Pexp_ident { txt = Lident r; _ }; _ }); (_, rhs) ] )
+              ->
+                if
+                  (not (List.mem r refs))
+                  && mentions_guard ~skip_release:false tainted rhs
+                then
+                  report ctx "R8" e.pexp_loc
+                    (Printf.sprintf
+                       "guard escapes its protection scope: assigned into `%s`, a ref \
+                        not local to this function — the guard may be read after its \
+                        announcement is released"
+                       r);
+                self#expression rhs
+            | Pexp_setfield (obj, field, rhs) ->
+                if mentions_guard ~skip_release:false tainted rhs then
+                  report ctx "R8" e.pexp_loc
+                    (Printf.sprintf
+                       "guard escapes its protection scope: stored into mutable field \
+                        `%s` — state that outlives the frame must not hold a live guard"
+                       (match last_seg field.txt with Some s -> s | None -> "?"));
+                self#expression obj;
+                self#expression rhs
+            | Pexp_record _ ->
+                if structural_mention tainted e then
+                  report ctx "R8" e.pexp_loc
+                    "guard escapes its protection scope: packed into a record literal — \
+                     a cursor or state value must carry released (or caller-owned) \
+                     guards only"
+                else super#expression e
+            | _ -> super#expression e);
+            tainted <- saved_t;
+            refs <- saved_r
+          end
+      end
+    in
+    it#expression vb.pvb_expr;
+    check_tail [] vb.pvb_expr
+  in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! structure_item si =
+        match si.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                if allows "R8" vb.pvb_attributes then ()
+                else
+                  match vb.pvb_pat.ppat_desc with
+                  | Ppat_var { txt = name; _ } when not (r2_guard_constructor name) ->
+                      walk_binding vb
+                  | _ -> ())
+              vbs
+        | _ -> super#structure_item si
+    end
+  in
+  it#structure st
+
+(* ------------------------------------------------------------------ *)
+(* R9: use-after-retire                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Interprocedural life-cycle rule 2: once a pointer variable is passed
+   to retire — directly, or through a helper whose summary says it
+   retires that parameter — any later occurrence of the variable on any
+   path in the function is flagged. After a retire the node can be
+   freed by any concurrent eject; even reading it is the race the §14
+   sanitizer hunts dynamically, and this is its static shadow.
+
+   Pass 1 builds per-function summaries (one top-down sweep over the
+   file: which positional parameters flow into a retire-family call);
+   pass 2 walks every function body in syntactic order with a
+   may-retire set — branch arms are analyzed independently and their
+   exits unioned, rebinding a name clears it, and closures are analyzed
+   under the state at their creation point. *)
+
+type r9_summary = (string, int list) Hashtbl.t
+(* function name -> positional (unlabelled) argument indices it retires *)
+
+let r9_positional_params e =
+  (* the Nolabel parameter names of a [fun p1 -> fun p2 -> ...] chain *)
+  let rec go acc e =
+    match e.pexp_desc with
+    | Pexp_function (params, _, fbody) -> (
+        let acc =
+          List.fold_left
+            (fun acc p ->
+              match p.pparam_desc with
+              | Pparam_val (Nolabel, _, { ppat_desc = Ppat_var { txt; _ }; _ }) ->
+                  txt :: acc
+              | _ -> acc)
+            acc params
+        in
+        match fbody with Pfunction_body e' -> go acc e' | Pfunction_cases _ -> List.rev acc)
+    | Pexp_constraint (e', _) -> go acc e'
+    | _ -> List.rev acc
+  in
+  go [] e
+
+let r9_build_summaries st : r9_summary =
+  let summaries : r9_summary = Hashtbl.create 16 in
+  let scan_function name rhs =
+    let params = r9_positional_params rhs in
+    if params <> [] then begin
+      let retired_params = ref [] in
+      let it =
+        object
+          inherit Ast_traverse.iter as super
+
+          method! expression e =
+            (match e.pexp_desc with
+            | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+              when is_family retire_names (flat txt) -> (
+                (* only the LAST positional ident is the retired
+                   pointer; leading ones are the context *)
+                let last_ident =
+                  List.fold_left
+                    (fun acc (lbl, a) ->
+                      match (lbl, a.pexp_desc) with
+                      | Nolabel, Pexp_ident { txt = Lident v; _ } -> Some v
+                      | _ -> acc)
+                    None args
+                in
+                match last_ident with
+                | Some v -> (
+                    match List.find_index (String.equal v) params with
+                    | Some i when not (List.mem i !retired_params) ->
+                        retired_params := i :: !retired_params
+                    | _ -> ())
+                | None -> ())
+            | _ -> ());
+            super#expression e
+        end
+      in
+      it#expression rhs;
+      if !retired_params <> [] then Hashtbl.replace summaries name !retired_params
+    end
+  in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! value_binding vb =
+        (match vb.pvb_pat.ppat_desc with
+        | Ppat_var { txt = name; _ } when not (List.mem name retire_names) ->
+            scan_function name vb.pvb_expr
+        | _ -> ());
+        super#value_binding vb
+    end
+  in
+  it#structure st;
+  summaries
+
+let run_r9 ctx st =
+  let summaries = r9_build_summaries st in
+  (* [walk retired e] returns the may-retire set after [e]; [retired]
+     maps a variable to the line of its retire site. *)
+  let rec walk (retired : (string * int) list) e : (string * int) list =
+    if allows "R9" e.pexp_attributes then retired
+    else begin
+      let use v loc =
+        match List.assoc_opt v retired with
+        | Some line ->
+            report ctx "R9" loc
+              (Printf.sprintf
+                 "`%s` used after retire (retired at line %d) — a retired node may be \
+                  freed by any concurrent eject; copy what you need before retiring, or \
+                  annotate with [@rc_lint.allow \"R9\"]"
+                 v line)
+        | None -> ()
+      in
+      let unbind vars retired = List.filter (fun (v, _) -> not (List.mem v vars)) retired in
+      (* The retired pointer is the LAST positional ident argument —
+         leading positional args are the per-thread context
+         ([retire c n], never the other way around). *)
+      let retire_args args retired =
+        let last_ident =
+          List.fold_left
+            (fun acc (lbl, a) ->
+              match (lbl, a.pexp_desc) with
+              | Nolabel, Pexp_ident { txt = Lident v; _ } -> Some (v, a.pexp_loc)
+              | _ -> acc)
+            None args
+        in
+        match last_ident with
+        | Some (v, loc) when not (List.mem_assoc v retired) ->
+            (v, loc.loc_start.pos_lnum) :: retired
+        | _ -> retired
+      in
+      match e.pexp_desc with
+      | Pexp_ident { txt = Lident v; _ } ->
+          use v e.pexp_loc;
+          retired
+      | Pexp_let (_, vbs, body) ->
+          let r = List.fold_left (fun r vb -> walk r vb.pvb_expr) retired vbs in
+          let bound = List.concat_map (fun vb -> pat_vars vb.pvb_pat) vbs in
+          walk (unbind bound r) body
+      | Pexp_sequence (e1, e2) -> walk (walk retired e1) e2
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+        when is_family retire_names (flat txt) ->
+          (* flag uses inside the args first (covers double retire),
+             then mark the retired variables *)
+          let r = List.fold_left (fun r (_, a) -> walk r a) retired args in
+          retire_args args r
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident f; _ }; _ }, args)
+        when Hashtbl.mem summaries f ->
+          let r = List.fold_left (fun r (_, a) -> walk r a) retired args in
+          let retiring = Hashtbl.find summaries f in
+          let _, r =
+            List.fold_left
+              (fun (i, acc) (lbl, a) ->
+                match (lbl, a.pexp_desc) with
+                | Nolabel, Pexp_ident { txt = Lident v; _ } ->
+                    if List.mem i retiring && not (List.mem_assoc v acc) then
+                      (i + 1, (v, a.pexp_loc.loc_start.pos_lnum) :: acc)
+                    else (i + 1, acc)
+                | Nolabel, _ -> (i + 1, acc)
+                | _ -> (i, acc))
+              (0, r) args
+          in
+          r
+      | Pexp_apply (head, args) ->
+          List.fold_left (fun r (_, a) -> walk r a) (walk retired head) args
+      | Pexp_ifthenelse (cond, t, eo) ->
+          let r0 = walk retired cond in
+          let r1 = walk r0 t in
+          let r2 = match eo with Some e' -> walk r0 e' | None -> r0 in
+          (* may-retire: union of the arms *)
+          r1 @ List.filter (fun (v, _) -> not (List.mem_assoc v r1)) r2
+      | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+          let r0 = walk retired scrut in
+          List.fold_left
+            (fun acc c ->
+              Option.iter (fun g -> ignore (walk r0 g)) c.pc_guard;
+              let ri = walk (unbind (pat_vars c.pc_lhs) r0) c.pc_rhs in
+              acc @ List.filter (fun (v, _) -> not (List.mem_assoc v acc)) ri)
+            r0 cases
+      | Pexp_function (params, _, fbody) ->
+          let inner = unbind (param_vars params) retired in
+          (match fbody with
+          | Pfunction_body e' -> ignore (walk inner e')
+          | Pfunction_cases (cases, _, _) ->
+              List.iter
+                (fun c -> ignore (walk (unbind (pat_vars c.pc_lhs) inner) c.pc_rhs))
+                cases);
+          retired
+      | Pexp_tuple es | Pexp_array es -> List.fold_left walk retired es
+      | Pexp_construct (_, eo) | Pexp_variant (_, eo) ->
+          Option.fold ~none:retired ~some:(walk retired) eo
+      | Pexp_record (fields, base) ->
+          let r = Option.fold ~none:retired ~some:(walk retired) base in
+          List.fold_left (fun r (_, e') -> walk r e') r fields
+      | Pexp_field (e', _) -> walk retired e'
+      | Pexp_setfield (o, _, v) -> walk (walk retired o) v
+      | Pexp_constraint (e', _) | Pexp_coerce (e', _, _) | Pexp_assert e' | Pexp_lazy e'
+      | Pexp_open (_, e') ->
+          walk retired e'
+      | Pexp_while (c, b) ->
+          ignore (walk (walk retired c) b);
+          retired
+      | Pexp_for (p, lo, hi, _, b) ->
+          let r = walk (walk retired lo) hi in
+          ignore (walk (unbind (pat_vars p) r) b);
+          r
+      | Pexp_letmodule (_, _, e') -> walk retired e'
+      | _ ->
+          (* other node kinds neither bind nor retire in this codebase;
+             still surface any use of an already-retired variable *)
+          if retired <> [] then begin
+            let probe =
+              object
+                inherit Ast_traverse.iter as super
+
+                method! expression e' =
+                  (match e'.pexp_desc with
+                  | Pexp_ident { txt = Lident v; _ } -> use v e'.pexp_loc
+                  | _ -> ());
+                  super#expression e'
+              end
+            in
+            probe#expression e
+          end;
+          retired
+    end
+  in
+  let top =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! structure_item si =
+        match si.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                let skip =
+                  allows "R9" vb.pvb_attributes
+                  ||
+                  match vb.pvb_pat.ppat_desc with
+                  | Ppat_var { txt = name; _ } -> List.mem name retire_names
+                  | _ -> false
+                in
+                if not skip then ignore (walk [] vb.pvb_expr))
+              vbs
+        | _ -> super#structure_item si
+    end
+  in
+  top#structure st
 
 (* Floating [@@@rc_lint.allow "R"] attributes: each one suppresses the
    rule for every finding at or below its own line. *)
@@ -682,7 +1211,9 @@ let lint_structure ~roles ctx st =
   run_r1 ctx ~whole_file:roles.core st;
   if roles.manual_ds then begin
     run_r2 ctx st;
-    run_r3 ctx st
+    run_r3 ctx st;
+    run_r8 ctx st;
+    run_r9 ctx st
   end;
   if not roles.unsafe_allowed then run_r4 ctx st;
   if roles.smr_scheme then run_r5 ctx st;

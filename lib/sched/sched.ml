@@ -57,24 +57,67 @@ let controller_depth = ref 0
 
 let yield () = if !controller_depth > 0 then Effect.perform Yield
 
+(* ------------------------------------------------------------------ *)
+(* Operation tracing (the sanitizer's event feed, DESIGN.md §14) *)
+
+type op_kind = Op_get | Op_set | Op_exchange | Op_cas of bool | Op_faa
+
+type op_event = {
+  op_fiber : int;  (** executing fiber, or [-1] for setup/oracle code *)
+  op_step : int;  (** controller step at which the op executed *)
+  op_loc : int;  (** unique id of the {!Traced} cell *)
+  op_kind : op_kind;
+}
+
+(* One observer at a time is plenty: the monitor is per-schedule and
+   [run_schedule] clears the hook on exit, so a stale tracer can never
+   leak into an unrelated run. Scenario builders re-install on each
+   [mk ()]. *)
+let tracer : (op_event -> unit) option ref = ref None
+let set_tracer f = tracer := f
+
+(* Maintained by [run_schedule]; [-1] outside fiber context (setup code
+   in the scenario builder, and the final [check] oracle). *)
+let running_fiber = ref (-1)
+let running_step = ref 0
+let current_fiber () = !running_fiber
+let current_step () = !running_step
+
+let trace_uid = ref 0
+
+let emit loc kind =
+  match !tracer with
+  | None -> ()
+  | Some f ->
+      f { op_fiber = !running_fiber; op_step = !running_step; op_loc = loc; op_kind = kind }
+
 (** Traced shim: a plain mutable cell, sound because the controller
     serializes all fibers on one thread; each operation is one
-    indivisible step *after* the scheduling point. *)
+    indivisible step *after* the scheduling point. Every operation also
+    reports itself to the installed {!set_tracer} hook (after the
+    scheduling point, i.e. at the moment the op takes effect), which is
+    how the happens-before sanitizer in [lib/analysis] sees the
+    synchronization structure of a schedule. *)
 module Traced : ATOMIC = struct
-  type 'a t = { mutable v : 'a }
+  type 'a t = { mutable v : 'a; uid : int }
 
-  let make v = { v }
+  let make v =
+    incr trace_uid;
+    { v; uid = !trace_uid }
 
   let get r =
     yield ();
+    emit r.uid Op_get;
     r.v
 
   let set r v =
     yield ();
+    emit r.uid Op_set;
     r.v <- v
 
   let exchange r v =
     yield ();
+    emit r.uid Op_exchange;
     let old = r.v in
     r.v <- v;
     old
@@ -85,13 +128,18 @@ module Traced : ATOMIC = struct
   let compare_and_set r old nu =
     yield ();
     if r.v == old then begin
+      emit r.uid (Op_cas true);
       r.v <- nu;
       true
     end
-    else false
+    else begin
+      emit r.uid (Op_cas false);
+      false
+    end
 
   let fetch_and_add r n =
     yield ();
+    emit r.uid Op_faa;
     let old = r.v in
     r.v <- old + n;
     old
@@ -221,7 +269,13 @@ let run_schedule ?(max_steps = 10_000) ~choose (s : scenario) :
   in
   incr controller_depth;
   Fun.protect
-    ~finally:(fun () -> decr controller_depth)
+    ~finally:(fun () ->
+      decr controller_depth;
+      (* The tracer is per-schedule state: scenario builders install it
+         in [mk ()], so clearing it here guarantees no events from this
+         run's monitor ever reach a later, unrelated run. *)
+      running_fiber := -1;
+      set_tracer None)
     (fun () ->
       (* The oracle runs after every fiber has finished: no concurrency
          remains, so traced operations inside it must degrade to plain
@@ -230,6 +284,8 @@ let run_schedule ?(max_steps = 10_000) ~choose (s : scenario) :
       let run_check () =
         let saved = !controller_depth in
         controller_depth := 0;
+        running_fiber := -1;
+        running_step := !step;
         Fun.protect ~finally:(fun () -> controller_depth := saved) s.check
       in
       let rec loop () =
@@ -253,7 +309,11 @@ let run_schedule ?(max_steps = 10_000) ~choose (s : scenario) :
               alts := rs :: !alts;
               incr step;
               last := i;
-              match run_fiber i with
+              running_fiber := i;
+              running_step := !step - 1;
+              match
+                Fun.protect ~finally:(fun () -> running_fiber := -1) (fun () -> run_fiber i)
+              with
               | () -> loop ()
               | exception e ->
                   state.(i) <- Finished;
@@ -285,17 +345,40 @@ let pp_trace ppf trace =
 let trace_to_string trace = Format.asprintf "%a" pp_trace trace
 
 let trace_of_string s =
-  let s = String.trim s in
-  let s =
-    if String.length s >= 2 && s.[0] = '[' && s.[String.length s - 1] = ']' then
-      String.sub s 1 (String.length s - 2)
-    else s
+  (* Strict parse: a schedule string that is not exactly what
+     [trace_to_string] produces (modulo whitespace and comma
+     separators) is a user error, and silently truncating or
+     mis-reading it would replay the *wrong* schedule — reject with a
+     message naming the offending token instead. *)
+  let orig = s in
+  let fail fmt =
+    Printf.ksprintf (fun m -> invalid_arg ("Sched.trace_of_string: " ^ m)) fmt
   in
+  let s = String.trim s in
+  let len = String.length s in
+  let s =
+    match (len > 0 && s.[0] = '[', len > 0 && s.[len - 1] = ']') with
+    | true, true -> String.sub s 1 (len - 2)
+    | false, false -> s
+    | true, false | false, true -> fail "unbalanced brackets in %S" orig
+  in
+  if String.exists (fun c -> c = '[' || c = ']') s then
+    fail "stray bracket inside %S" orig;
+  let s = String.trim s in
   if s = "" then []
   else
     String.split_on_char ';' s
     |> List.concat_map (String.split_on_char ',')
-    |> List.map (fun x -> int_of_string (String.trim x))
+    |> List.map (fun tok ->
+           let t = String.trim tok in
+           if t = "" then fail "empty element in %S" orig
+           else
+             (* [int_of_string_opt] covers both garbage and ints that
+                overflow the native word. *)
+             match int_of_string_opt t with
+             | None -> fail "invalid fiber index %S in %S" t orig
+             | Some i when i < 0 -> fail "negative fiber index %d in %S" i orig
+             | Some i -> i)
 
 let message_of_exn e =
   match e with

@@ -56,6 +56,37 @@ val yield : unit -> unit
     hands control to the scheduler. Use to interleave code that does
     not go through {!Traced} (e.g. whole data-structure operations). *)
 
+(** {1 Operation tracing}
+
+    The event feed for schedule-level analyses (the happens-before
+    sanitizer in [lib/analysis], DESIGN.md §14). Every {!Traced}
+    operation reports itself — after its scheduling point, at the
+    moment it takes effect — to the installed tracer. *)
+
+type op_kind = Op_get | Op_set | Op_exchange | Op_cas of bool | Op_faa
+
+type op_event = {
+  op_fiber : int;
+      (** executing fiber index, or [-1] for code outside fiber context
+          (scenario setup, the final [check] oracle, cleanup) *)
+  op_step : int;  (** controller step at which the op executed *)
+  op_loc : int;  (** unique id of the {!Traced} cell (per-process) *)
+  op_kind : op_kind;
+}
+
+val set_tracer : (op_event -> unit) option -> unit
+(** Install (or clear) the single operation observer. Per-schedule
+    state: {e every} [run] clears the tracer when it finishes, so
+    scenario builders must re-install it on each [mk ()] call. *)
+
+val current_fiber : unit -> int
+(** Index of the fiber currently executing under a controller, or [-1]
+    outside fiber context. Monitors use this to attribute non-atomic
+    protocol events (deref/retire/free) to fibers. *)
+
+val current_step : unit -> int
+(** The controller step of the currently-executing fiber segment. *)
+
 (** {1 Scenarios} *)
 
 type scenario = {
@@ -92,7 +123,11 @@ val trace_to_string : int list -> string
 (** Render a schedule as ["[0;1;1;0]"]. *)
 
 val trace_of_string : string -> int list
-(** Parse the {!trace_to_string} format (also accepts commas). *)
+(** Parse the {!trace_to_string} format (also accepts commas as
+    separators and surrounding whitespace). Strict: raises
+    [Invalid_argument] — naming the offending token — on unbalanced
+    brackets, empty elements, non-numeric or overflowing tokens, and
+    negative fiber indices. Never silently truncates. *)
 
 (** {1 Explorers} *)
 

@@ -1,0 +1,14 @@
+(* rc-lint fixture: guards escaping their protection scope — one
+   stored into a mutable field (the structure outlives the frame), one
+   returned to the caller inside a tuple. Never compiled. *)
+let peek c =
+  let g = protect c c.head in
+  c.saved <- Some g;
+  let v = value_of g in
+  release c g;
+  v
+
+let cursor_pair c =
+  let g = acquire c c.head in
+  release c g;
+  (value_of c, g)

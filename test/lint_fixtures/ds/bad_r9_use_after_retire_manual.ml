@@ -1,0 +1,21 @@
+(* rc-lint fixture: a node read after retire — once directly, once
+   through a helper whose summary says it retires its second argument
+   (the interprocedural case). Never compiled. *)
+let drop_node c n = if cas_link c.head (Some n) (next_of n) then retire c n
+
+let dequeue c =
+  match swing_head c with
+  | None -> None
+  | Some n ->
+      if cas_link c.head (Some n) (next_of n) then begin
+        retire c n;
+        Some (value_of n)
+      end
+      else None
+
+let dequeue_via_helper c =
+  match swing_head c with
+  | None -> None
+  | Some n ->
+      drop_node c n;
+      Some (value_of n)

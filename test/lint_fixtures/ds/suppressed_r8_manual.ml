@@ -1,0 +1,10 @@
+(* rc-lint fixture: the same field-store escape as
+   bad_r8_escape_manual, deliberately kept (a debug cursor) and
+   silenced at the binding. Never compiled. *)
+let peek c =
+  let g = protect c c.head in
+  c.saved <- Some g;
+  let v = value_of g in
+  release c g;
+  v
+[@@rc_lint.allow "R8"]

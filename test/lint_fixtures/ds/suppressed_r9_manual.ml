@@ -1,0 +1,12 @@
+(* rc-lint fixture: a deliberate post-retire read (the value field is
+   immutable and the test harness keeps the block alive), silenced at
+   the expression. Never compiled. *)
+let dequeue c =
+  match swing_head c with
+  | None -> None
+  | Some n ->
+      if cas_link c.head (Some n) (next_of n) then begin
+        retire c n;
+        (Some (value_of n) [@rc_lint.allow "R9"])
+      end
+      else None

@@ -24,6 +24,8 @@ let test_bad_files () =
   check_rules "ds/bad_r3_retire_manual.ml" [ "R3" ];
   check_rules "ds/bad_r3_retire_loop_manual.ml" [ "R3" ];
   check_rules "bad_r4_obj_magic.ml" [ "R4" ];
+  check_rules "ds/bad_r8_escape_manual.ml" [ "R8"; "R8" ];
+  check_rules "ds/bad_r9_use_after_retire_manual.ml" [ "R9"; "R9" ];
   check_rules "smr/bad_r5_scheme.ml" [ "R5" ];
   check_rules "obs/bad_r6_counter.ml" [ "R6"; "R6" ];
   check_rules "smr/bad_r7_knobs.ml" [ "R7"; "R7" ]
@@ -31,7 +33,9 @@ let test_bad_files () =
 let test_clean_files () =
   check_rules "clean.ml" [];
   check_rules "suppressed_r1.ml" [];
-  check_rules "suppressed_r4.ml" []
+  check_rules "suppressed_r4.ml" [];
+  check_rules "ds/suppressed_r8_manual.ml" [];
+  check_rules "ds/suppressed_r9_manual.ml" []
 
 (* suppressed_r2_manual.ml holds two identical leaks; the annotated
    one must be silent and the other must still fire. *)
@@ -44,7 +48,7 @@ let test_suppression_site_granular () =
 
 let test_corpus_total () =
   let fs = Lint.lint_paths [ "lint_fixtures" ] in
-  Alcotest.(check int) "total corpus findings" 15 (List.length fs)
+  Alcotest.(check int) "total corpus findings" 19 (List.length fs)
 
 let test_allowlist_gates_r4 () =
   let src = "let key x = Obj.repr x\n" in

@@ -36,6 +36,57 @@ let test_trace_roundtrip () =
   Alcotest.(check (list int)) "commas accepted" t (Sched.trace_of_string "0,1,1,0,1");
   Alcotest.(check (list int)) "empty" [] (Sched.trace_of_string "[]")
 
+let rejects name s =
+  match Sched.trace_of_string s with
+  | t -> Alcotest.failf "%s: %S parsed as a trace of length %d" name s (List.length t)
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        (name ^ ": error names the parser") true
+        (String.length msg >= 21 && String.sub msg 0 21 = "Sched.trace_of_string")
+
+let test_trace_garbage_rejected () =
+  rejects "word" "bogus";
+  rejects "trailing garbage" "[0;1;x]";
+  rejects "unbalanced open" "[0;1";
+  rejects "unbalanced close" "0;1]";
+  rejects "interior bracket" "[0;[1];2]";
+  rejects "negative fiber" "[0;-1;2]";
+  rejects "overflow" "[0;99999999999999999999999]";
+  rejects "empty token" "[0;;1]";
+  rejects "float" "[0;1.5]"
+
+let prop_trace_roundtrip =
+  QCheck2.Test.make ~name:"trace_of_string inverts trace_to_string" ~count:500
+    QCheck2.Gen.(list_size (int_bound 40) (int_bound 8))
+    (fun t -> Sched.trace_of_string (Sched.trace_to_string t) = t)
+
+let prop_garbage_never_truncates =
+  (* arbitrary strings either parse to a full trace (every token was a
+     valid step) or raise Invalid_argument — never a silent prefix *)
+  QCheck2.Test.make ~name:"garbage input never silently truncates" ~count:500
+    QCheck2.Gen.(string_size ~gen:(oneofl [ '0'; '1'; '9'; ';'; ','; '['; ']'; 'x'; '-'; ' ' ]) (int_bound 12))
+    (fun s ->
+      match Sched.trace_of_string s with
+      | trace ->
+          (* count the separator-delimited tokens the parser must have
+             consumed (its own normalization: trim, strip one bracket
+             pair, trim): all of them, or it should have raised —
+             success with any token dropped would be a silent prefix *)
+          let s = String.trim s in
+          let n = String.length s in
+          let body =
+            if n >= 2 && s.[0] = '[' && s.[n - 1] = ']' then String.sub s 1 (n - 2)
+            else s
+          in
+          let body = String.trim body in
+          let tokens =
+            if body = "" then []
+            else
+              String.split_on_char ';' body |> List.concat_map (String.split_on_char ',')
+          in
+          List.length trace = List.length tokens
+      | exception Invalid_argument _ -> true)
+
 let test_pct_and_random_find_lost_update () =
   (match Sched.explore_random ~iters:200 ~seed:7 S.racy_counter with
   | Sched.Fail _ -> ()
@@ -158,6 +209,9 @@ let () =
           Alcotest.test_case "finds lost update" `Quick test_finds_lost_update;
           Alcotest.test_case "replay reproduces" `Quick test_replay_reproduces;
           Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "garbage traces rejected" `Quick test_trace_garbage_rejected;
+          QCheck_alcotest.to_alcotest prop_trace_roundtrip;
+          QCheck_alcotest.to_alcotest prop_garbage_never_truncates;
           Alcotest.test_case "pct+random find lost update" `Quick
             test_pct_and_random_find_lost_update;
           Alcotest.test_case "preemption bound prunes" `Quick test_preemption_bound_prunes;

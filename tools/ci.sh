@@ -57,6 +57,31 @@ dune exec bin/cdrc_bench.exe -- explore racy-counter --mode pct --seed 1 --iters
 dune exec bin/cdrc_bench.exe -- explore sticky-drop-help --mode random --seed 2 --iters 2000
 dune exec bin/cdrc_bench.exe -- explore slots-skip-validate --mode pct --seed 3 --iters 500
 
+echo "== sanitize: clean corpus under exhaustive DFS =="
+# The §14 race & lifetime sanitizer: every clean sanitized target must
+# survive exhaustive DFS with zero violations — a false positive here
+# means the happens-before engine or the typestate rules regressed.
+dune exec bin/cdrc_bench.exe -- explore --sanitize san-slots --mode dfs
+dune exec bin/cdrc_bench.exe -- explore --sanitize san-handoff --mode dfs
+dune exec bin/cdrc_bench.exe -- explore --sanitize san-weak-upgrade --mode dfs
+
+echo "== sanitize: seeded mutants caught with a replayable trace =="
+# Each mutant target exits 0 only when the sanitizer catches the seeded
+# protocol bug; on top of that, the report must print the replayable
+# schedule ("schedule [...]") that names the racing pair — that printed
+# trace is the contract the test suite replays.
+for t in san-slots-drop-acquire san-handoff-retire-early san-rc-extra-dec; do
+  out=$(dune exec bin/cdrc_bench.exe -- explore --sanitize "$t" --mode dfs)
+  echo "$out"
+  case $out in
+    *"schedule ["*) ;;
+    *)
+      echo "error: $t caught the mutant but printed no replayable schedule" >&2
+      exit 1
+      ;;
+  esac
+done
+
 echo "== kv serving smoke (sweep + identity validation) =="
 # Short sharded-KV sweep (DESIGN.md §12) with --validate: after each
 # run the store is quiesced and the node/box retirement-accounting
